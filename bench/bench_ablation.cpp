@@ -1,0 +1,78 @@
+// Ablation of dagP's design choices (DESIGN.md): coarsening, the final
+// merge phase, FM refinement passes, and the number of candidate
+// topological orders per bisection — measured by part count and
+// partitioning time across the suite.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/timer.hpp"
+
+namespace {
+
+struct Variant {
+  std::string name;
+  hisim::partition::PartitionOptions tweak;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hisim;
+  const auto args = bench::parse_args(argc, argv);
+
+  partition::PartitionOptions base;
+  base.seed = args.seed;
+
+  std::vector<Variant> variants;
+  variants.push_back({"full", base});
+  {
+    auto v = base;
+    v.coarsen = false;
+    variants.push_back({"no-coarsen", v});
+  }
+  {
+    auto v = base;
+    v.merge = false;
+    variants.push_back({"no-merge", v});
+  }
+  {
+    auto v = base;
+    v.refine_passes = 0;
+    variants.push_back({"no-refine", v});
+  }
+  {
+    auto v = base;
+    v.bisect_candidates = 1;
+    variants.push_back({"1-candidate", v});
+  }
+
+  std::printf("== dagP ablation: parts (and partition us) per variant ==\n\n");
+  std::vector<std::string> header = {"circuit"};
+  for (const auto& v : variants) header.push_back(v.name);
+  bench::print_row(header, {10, 14, 14, 14, 14, 14});
+
+  std::vector<std::vector<double>> parts_by_variant(variants.size());
+  for (const auto& e : bench::scaled_suite(args)) {
+    const dag::CircuitDag dag(e.circuit);
+    const unsigned limit = e.circuit.num_qubits() - 3;
+    std::vector<std::string> row = {e.meta.name};
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+      auto opt = variants[i].tweak;
+      opt.limit = limit;
+      Timer t;
+      const auto p = partition::partition_dagp(dag, opt);
+      row.push_back(std::to_string(p.num_parts()) + " (" +
+                    bench::fmt(t.micros(), 0) + "us)");
+      parts_by_variant[i].push_back(static_cast<double>(p.num_parts()));
+    }
+    bench::print_row(row, {10, 14, 14, 14, 14, 14});
+  }
+  std::printf("\ngeomean parts: ");
+  for (std::size_t i = 0; i < variants.size(); ++i)
+    std::printf("%s=%.2f ", variants[i].name.c_str(),
+                bench::geomean(parts_by_variant[i]));
+  std::printf("\n(the merge phase and multi-candidate bisection should "
+              "matter most; coarsening mainly buys speed)\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Fig. 5: improvement factor of HiSVSIM over the IQS-style baseline for
+// each circuit, strategy, and rank count (modeled end-to-end time on the
+// simulated cluster).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hisim;
+  const auto args = bench::parse_args(argc, argv);
+
+  std::printf("== Fig. 5: improvement factor over IQS baseline ==\n\n");
+  bench::print_row({"circuit", "ranks", "Nat", "DFS", "dagP"},
+                   {10, 6, 8, 8, 8});
+
+  std::vector<double> dagp_factors, dagp_factors_large;
+  for (const auto& e : bench::scaled_suite(args)) {
+    for (unsigned p : args.process_qubits) {
+      const auto iqs = bench::run_iqs(e.circuit, p);
+      std::vector<std::string> row = {e.meta.name,
+                                      std::to_string(1u << p)};
+      for (auto s : {partition::Strategy::Nat, partition::Strategy::Dfs,
+                     partition::Strategy::DagP}) {
+        const auto his = bench::run_hisvsim(e.circuit, p, s, args.seed);
+        const double factor =
+            his.total_seconds() > 0
+                ? iqs.total_seconds() / his.total_seconds()
+                : 0.0;
+        row.push_back(bench::fmt(factor, 2));
+        if (s == partition::Strategy::DagP) {
+          dagp_factors.push_back(factor);
+          if (e.meta.paper_qubits >= 35) dagp_factors_large.push_back(factor);
+        }
+      }
+      bench::print_row(row, {10, 6, 8, 8, 8});
+    }
+  }
+  std::printf("\ngeomean dagP improvement: %.2fx (paper: 2.1x mean, up to "
+              "3.9x)\n",
+              bench::geomean(dagp_factors));
+  if (!dagp_factors_large.empty())
+    std::printf("geomean dagP improvement, larger circuits: %.2fx (paper: "
+                "3.0x mean for >=35 qubits)\n",
+                bench::geomean(dagp_factors_large));
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Fig. 6: strong-scaling end-to-end runtime per circuit for the three
+// HiSVSIM strategies and the IQS baseline across rank counts.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hisim;
+  const auto args = bench::parse_args(argc, argv);
+
+  std::printf("== Fig. 6: runtime (modeled seconds) per circuit ==\n\n");
+  bench::print_row(
+      {"circuit", "ranks", "IQS", "Nat", "DFS", "dagP", "dagP-parts"},
+      {10, 6, 10, 10, 10, 10, 10});
+
+  for (const auto& e : bench::scaled_suite(args)) {
+    for (unsigned p : args.process_qubits) {
+      const auto iqs = bench::run_iqs(e.circuit, p);
+      std::vector<std::string> row = {e.meta.name, std::to_string(1u << p),
+                                      bench::fmt(iqs.total_seconds(), 4)};
+      std::size_t dagp_parts = 0;
+      for (auto s : {partition::Strategy::Nat, partition::Strategy::Dfs,
+                     partition::Strategy::DagP}) {
+        const auto his = bench::run_hisvsim(e.circuit, p, s, args.seed);
+        row.push_back(bench::fmt(his.total_seconds(), 4));
+        if (s == partition::Strategy::DagP) dagp_parts = his.parts;
+      }
+      row.push_back(std::to_string(dagp_parts));
+      bench::print_row(row, {10, 6, 10, 10, 10, 10, 10});
+    }
+  }
+  std::printf("\nexpected shape (paper): close-to-linear scaling for all "
+              "strategies; HiSVSIM compute < IQS compute; dagP fastest "
+              "overall except qpe.\n");
+  return 0;
+}

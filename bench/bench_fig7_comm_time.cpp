@@ -1,0 +1,40 @@
+// Fig. 7: average per-rank communication time for the three HiSVSIM
+// strategies and the IQS baseline, per circuit and rank count.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hisim;
+  const auto args = bench::parse_args(argc, argv);
+
+  std::printf("== Fig. 7: average communication time (modeled ms) ==\n\n");
+  bench::print_row({"circuit", "ranks", "IQS", "Nat", "DFS", "dagP"},
+                   {10, 6, 10, 10, 10, 10});
+
+  unsigned dagp_best = 0, cases = 0;
+  for (const auto& e : bench::scaled_suite(args)) {
+    for (unsigned p : args.process_qubits) {
+      const auto iqs = bench::run_iqs(e.circuit, p);
+      std::vector<double> avg;
+      for (auto s : {partition::Strategy::Nat, partition::Strategy::Dfs,
+                     partition::Strategy::DagP}) {
+        const auto his = bench::run_hisvsim(e.circuit, p, s, args.seed);
+        avg.push_back(his.comm.modeled_avg_seconds);
+      }
+      bench::print_row({e.meta.name, std::to_string(1u << p),
+                        bench::fmt(iqs.comm.modeled_avg_seconds * 1e3, 3),
+                        bench::fmt(avg[0] * 1e3, 3),
+                        bench::fmt(avg[1] * 1e3, 3),
+                        bench::fmt(avg[2] * 1e3, 3)},
+                       {10, 6, 10, 10, 10, 10});
+      ++cases;
+      if (avg[2] <= avg[0] && avg[2] <= avg[1]) ++dagp_best;
+    }
+  }
+  std::printf("\ndagP had the lowest HiSVSIM comm time in %u/%u cases "
+              "(paper: fastest across all cases).\n",
+              dagp_best, cases);
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Microbenchmarks of the state-vector substrate (google-benchmark):
+// gate-kernel throughput per kind, gather/scatter streaming, and the
+// roofline behaviour of Sec. III-A (single-qubit gates are memory bound).
+
+#ifdef HISIM_HAVE_GBENCH
+#include <benchmark/benchmark.h>
+
+#include "circuit/gate.hpp"
+#include "common/bits.hpp"
+#include "sv/kernels.hpp"
+#include "sv/state_vector.hpp"
+
+namespace {
+
+using namespace hisim;
+
+void BM_Hadamard(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  sv::StateVector s(n);
+  const Gate g = Gate::h(n / 2);
+  for (auto _ : state) {
+    sv::apply_gate(s, g);
+    benchmark::DoNotOptimize(s.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(s.bytes()) * 2);
+}
+BENCHMARK(BM_Hadamard)->DenseRange(10, 20, 5);
+
+void BM_CxLowTarget(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  sv::StateVector s(n);
+  const Gate g = Gate::cx(0, 1);
+  for (auto _ : state) sv::apply_gate(s, g);
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(s.bytes()));
+}
+BENCHMARK(BM_CxLowTarget)->DenseRange(10, 20, 5);
+
+void BM_CxHighTarget(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  sv::StateVector s(n);
+  const Gate g = Gate::cx(0, n - 1);
+  for (auto _ : state) sv::apply_gate(s, g);
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(s.bytes()));
+}
+BENCHMARK(BM_CxHighTarget)->DenseRange(10, 20, 5);
+
+void BM_DiagonalRz(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  sv::StateVector s(n);
+  const Gate g = Gate::rz(n / 2, 0.7);
+  for (auto _ : state) sv::apply_gate(s, g);
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(s.bytes()) * 2);
+}
+BENCHMARK(BM_DiagonalRz)->DenseRange(10, 20, 5);
+
+void BM_GenericTwoQubit(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  sv::StateVector s(n);
+  const Gate g = Gate::rxx(1, n - 2, 0.4);
+  for (auto _ : state) sv::apply_gate(s, g);
+}
+BENCHMARK(BM_GenericTwoQubit)->DenseRange(10, 18, 4);
+
+void BM_GatherScatter(benchmark::State& state) {
+  // The Algorithm-1 inner loop: gather 2^w strided amps, scatter back.
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  const unsigned w = static_cast<unsigned>(state.range(1));
+  sv::StateVector outer(n);
+  sv::StateVector inner(w);
+  Index mask = 0;  // every other qubit: worst-case stride pattern
+  for (unsigned j = 0; j < w; ++j) mask |= Index{1} << (2 * j < n ? 2 * j : j);
+  const Index inv = ~mask & (outer.size() - 1);
+  std::vector<Index> offset(Index{1} << w);
+  for (Index t = 0; t < offset.size(); ++t)
+    offset[t] = bits::deposit(t, mask);
+  for (auto _ : state) {
+    for (Index m = 0; m < (outer.size() >> w); ++m) {
+      const Index base = bits::deposit(m, inv);
+      for (Index t = 0; t < offset.size(); ++t)
+        inner[t] = outer[base | offset[t]];
+      for (Index t = 0; t < offset.size(); ++t)
+        outer[base | offset[t]] = inner[t];
+    }
+    benchmark::DoNotOptimize(outer.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(outer.bytes()) * 2);
+}
+BENCHMARK(BM_GatherScatter)->Args({16, 8})->Args({18, 9})->Args({20, 10});
+
+}  // namespace
+
+BENCHMARK_MAIN();
+
+#else
+#include <cstdio>
+int main() {
+  std::printf("google-benchmark not available; kernel microbench skipped\n");
+  return 0;
+}
+#endif

@@ -1,0 +1,92 @@
+// Sec. V-A partitioning-quality experiment: the paper's ILP found dagP
+// optimal in 48 of 52 (circuit, qubit-limit) instances, within 1-2 parts
+// otherwise. We rerun with the exact branch-and-bound solver at reduced
+// circuit sizes (13 circuits x 4 limits = 52 instances).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/timer.hpp"
+#include "partition/exact.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hisim;
+  const auto args = bench::parse_args(argc, argv);
+  const unsigned qubits = args.quick ? 8 : 10;
+  const std::vector<unsigned> limits = {4, 5, 6, 8};
+
+  std::printf("== dagP vs exact optimum (paper: 48/52 optimal) ==\n");
+  std::printf("circuits at %u qubits, limits {4,5,6,8}\n\n", qubits);
+  bench::print_row({"circuit", "limit", "dagP", "exact", "status", "gap",
+                    "dagP(us)", "exact(ms)"},
+                   {12, 6, 5, 6, 10, 4, 9, 10});
+
+  unsigned optimal = 0, total = 0, proven = 0;
+  for (const auto& meta : circuits::qasmbench_suite()) {
+    // The branch-and-bound solver (the ILP substitute) needs a bounded
+    // contracted-node count; dense circuits (qft/qpe/qaoa) shrink until
+    // tractable, mirroring the paper's "smaller circuits" ILP runs.
+    unsigned n = qubits;
+    // qaoa's depth is round-driven; use 2 rounds for the exact comparison.
+    auto build = [&](unsigned nq) {
+      return meta.name == "qaoa" ? circuits::qaoa(nq, 2)
+                                 : circuits::make_by_name(meta.name, nq);
+    };
+    Circuit c = build(n);
+    bool tractable = false;
+    while (n >= 5) {
+      try {
+        (void)partition::partition_exact(dag::CircuitDag(c),
+                                         c.num_qubits(), 1);
+        tractable = true;
+        break;
+      } catch (const Error&) {
+        c = build(--n);
+      }
+    }
+    if (!tractable) {
+      bench::print_row({meta.name, "-", "-", "-", "intractable", "-", "-",
+                        "-"},
+                       {12, 6, 5, 6, 10, 4, 9, 10});
+      continue;
+    }
+    const dag::CircuitDag dag(c);
+    unsigned max_arity = 1;
+    for (const Gate& g : c.gates()) max_arity = std::max(max_arity, g.arity());
+    for (unsigned limit : limits) {
+      if (limit < max_arity) {
+        bench::print_row({meta.name + "@" + std::to_string(n),
+                          std::to_string(limit), "-", "-",
+                          "skipped(arity)", "-", "-", "-"},
+                         {12, 6, 5, 6, 10, 4, 9, 10});
+        continue;
+      }
+      ++total;
+      partition::PartitionOptions opt;
+      opt.limit = limit;
+      opt.seed = args.seed;
+      Timer t1;
+      const auto dagp = partition::partition_dagp(dag, opt);
+      const double dagp_us = t1.micros();
+      Timer t2;
+      const auto exact = partition::partition_exact(dag, limit, 1u << 22);
+      const double exact_ms = t2.millis();
+      if (exact.proven_optimal) ++proven;
+      const long gap = static_cast<long>(dagp.num_parts()) -
+                       static_cast<long>(exact.partitioning.num_parts());
+      if (exact.proven_optimal && gap == 0) ++optimal;
+      bench::print_row(
+          {meta.name + "@" + std::to_string(n), std::to_string(limit),
+           std::to_string(dagp.num_parts()),
+           std::to_string(exact.partitioning.num_parts()),
+           exact.proven_optimal ? "optimal" : "truncated",
+           std::to_string(gap), bench::fmt(dagp_us, 0),
+           bench::fmt(exact_ms, 1)},
+          {12, 6, 5, 6, 10, 4, 9, 10});
+    }
+  }
+  std::printf("\ndagP optimal in %u of %u instances (%u proven optima)\n",
+              optimal, total, proven);
+  std::printf("paper: 48 of 52, remainder within 1-2 parts.\n");
+  return 0;
+}

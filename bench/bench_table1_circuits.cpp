@@ -1,0 +1,29 @@
+// Table I: benchmark description — the 13 QASMBench-family circuits with
+// paper-scale metadata alongside this repo's scaled instantiations.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hisim;
+  const auto args = bench::parse_args(argc, argv);
+
+  std::printf("== Table I: benchmark description ==\n");
+  std::printf("(paper columns, then this repo's scaled instantiation)\n\n");
+  bench::print_row({"circuit", "paper-q", "paper-g", "paper-mem", "ours-q",
+                    "ours-g", "depth", "ours-mem"},
+                   {10, 8, 8, 10, 7, 7, 6, 10});
+  for (const auto& e : bench::scaled_suite(args)) {
+    const double mem_mib =
+        static_cast<double>(e.circuit.memory_bytes()) / (1 << 20);
+    bench::print_row(
+        {e.meta.name, std::to_string(e.meta.paper_qubits),
+         std::to_string(e.meta.paper_gates), e.meta.paper_memory,
+         std::to_string(e.circuit.num_qubits()),
+         std::to_string(e.circuit.num_gates()),
+         std::to_string(e.circuit.depth()), bench::fmt(mem_mib, 1) + " MiB"},
+        {10, 8, 8, 10, 7, 7, 6, 10});
+  }
+  return 0;
+}

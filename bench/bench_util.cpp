@@ -1,0 +1,95 @@
+#include "bench_util.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace hisim::bench {
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--qubits-delta=", 0) == 0) {
+      args.qubits_delta = std::atoi(a.c_str() + 15);
+    } else if (a.rfind("--ranks=", 0) == 0) {
+      args.process_qubits.clear();
+      std::stringstream ss(a.substr(8));
+      std::string tok;
+      while (std::getline(ss, tok, ','))
+        args.process_qubits.push_back(
+            static_cast<unsigned>(std::atoi(tok.c_str())));
+    } else if (a.rfind("--seed=", 0) == 0) {
+      args.seed = std::strtoull(a.c_str() + 7, nullptr, 10);
+    } else if (a == "--quick") {
+      args.quick = true;
+    } else if (a == "--help") {
+      std::printf("flags: --qubits-delta=N --ranks=p1,p2 --seed=N --quick\n");
+      std::exit(0);
+    }
+  }
+  if (args.quick) {
+    args.qubits_delta -= 2;
+    if (args.process_qubits.size() > 2) args.process_qubits.resize(2);
+  }
+  return args;
+}
+
+std::vector<SuiteEntry> scaled_suite(const Args& args) {
+  std::vector<SuiteEntry> out;
+  for (const auto& b : circuits::qasmbench_suite()) {
+    const int n = static_cast<int>(b.default_qubits) + args.qubits_delta;
+    const unsigned qubits = static_cast<unsigned>(std::max(8, n));
+    Circuit c = b.make(qubits);
+    c.set_name(b.name);
+    out.push_back(SuiteEntry{b, std::move(c)});
+  }
+  return out;
+}
+
+dist::DistRunReport run_hisvsim(const Circuit& c, unsigned p,
+                                partition::Strategy strategy,
+                                std::uint64_t seed, unsigned level2_limit) {
+  dist::DistState state(c.num_qubits(), p);
+  dist::DistributedHiSvSim::Options opt;
+  opt.process_qubits = p;
+  opt.part.strategy = strategy;
+  opt.part.seed = seed;
+  opt.level2_limit = level2_limit;
+  return dist::DistributedHiSvSim().run(c, opt, state);
+}
+
+dist::IqsRunReport run_iqs(const Circuit& c, unsigned p) {
+  dist::DistState state(c.num_qubits(), p);
+  return dist::IqsBaselineSimulator().run(c, state);
+}
+
+double geomean(const std::vector<double>& xs) {
+  double log_sum = 0.0;
+  std::size_t n = 0;
+  for (double x : xs) {
+    if (x <= 0) continue;
+    log_sum += std::log(x);
+    ++n;
+  }
+  return n == 0 ? 0.0 : std::exp(log_sum / static_cast<double>(n));
+}
+
+void print_row(const std::vector<std::string>& cells,
+               const std::vector<int>& widths) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const int w = i < widths.size() ? widths[i] : 12;
+    std::printf("%-*s ", w, cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace hisim::bench

@@ -1,0 +1,53 @@
+#pragma once
+
+// Shared helpers for the per-table / per-figure benchmark binaries. Each
+// binary regenerates one table or figure of the paper at a scaled size
+// (flags: --qubits-delta, --ranks, --seed) and prints the same rows/series
+// the paper reports.
+
+#include <string>
+#include <vector>
+
+#include "circuits/generators.hpp"
+#include "dist/hisvsim_dist.hpp"
+#include "dist/iqs_baseline.hpp"
+#include "partition/partition.hpp"
+
+namespace hisim::bench {
+
+struct Args {
+  int qubits_delta = 0;        // added to every suite circuit's default size
+  std::vector<unsigned> process_qubits = {3, 4, 5};  // ranks = 2^p sweeps
+  std::uint64_t seed = 0x5eed;
+  bool quick = false;          // smaller sweep for smoke runs
+};
+
+/// Parses --qubits-delta=N --ranks=p1,p2,... --seed=N --quick.
+Args parse_args(int argc, char** argv);
+
+/// The suite at scaled sizes: name -> circuit.
+struct SuiteEntry {
+  circuits::BenchCircuit meta;
+  Circuit circuit;
+};
+std::vector<SuiteEntry> scaled_suite(const Args& args);
+
+/// Runs distributed HiSVSIM with `strategy` and returns the report.
+dist::DistRunReport run_hisvsim(const Circuit& c, unsigned p,
+                                partition::Strategy strategy,
+                                std::uint64_t seed,
+                                unsigned level2_limit = 0);
+
+/// Runs the IQS-style baseline.
+dist::IqsRunReport run_iqs(const Circuit& c, unsigned p);
+
+/// Geometric mean (ignores non-positive entries).
+double geomean(const std::vector<double>& xs);
+
+/// Markdown-ish table printing.
+void print_row(const std::vector<std::string>& cells,
+               const std::vector<int>& widths);
+
+std::string fmt(double v, int precision = 2);
+
+}  // namespace hisim::bench

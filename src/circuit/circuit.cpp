@@ -1,0 +1,57 @@
+#include "circuit/circuit.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace hisim {
+
+void Circuit::add(Gate g) {
+  for (Qubit q : g.qubits)
+    HISIM_CHECK_MSG(q < num_qubits_, "gate qubit q[" << q << "] out of range ("
+                                                     << num_qubits_
+                                                     << "-qubit circuit)");
+  gates_.push_back(std::move(g));
+}
+
+void Circuit::append(const Circuit& other) {
+  HISIM_CHECK(other.num_qubits_ <= num_qubits_);
+  for (const Gate& g : other.gates_) add(g);
+}
+
+unsigned Circuit::depth() const {
+  std::vector<unsigned> level(num_qubits_, 0);
+  unsigned depth = 0;
+  for (const Gate& g : gates_) {
+    unsigned lvl = 0;
+    for (Qubit q : g.qubits) lvl = std::max(lvl, level[q]);
+    ++lvl;
+    for (Qubit q : g.qubits) level[q] = lvl;
+    depth = std::max(depth, lvl);
+  }
+  return depth;
+}
+
+std::map<std::string, std::size_t> Circuit::gate_histogram() const {
+  std::map<std::string, std::size_t> hist;
+  for (const Gate& g : gates_) ++hist[gate_name(g.kind)];
+  return hist;
+}
+
+unsigned Circuit::used_qubits() const {
+  std::set<Qubit> used;
+  for (const Gate& g : gates_) used.insert(g.qubits.begin(), g.qubits.end());
+  return static_cast<unsigned>(used.size());
+}
+
+std::string Circuit::summary() const {
+  std::ostringstream os;
+  os << name_ << ": " << num_qubits_ << " qubits, " << num_gates()
+     << " gates, depth " << depth() << ", sv "
+     << static_cast<double>(memory_bytes()) / (1024.0 * 1024.0) << " MiB";
+  return os.str();
+}
+
+}  // namespace hisim

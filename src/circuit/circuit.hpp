@@ -1,0 +1,60 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "circuit/gate.hpp"
+#include "common/types.hpp"
+
+namespace hisim {
+
+/// A quantum circuit: an ordered gate sequence on `num_qubits()` qubits.
+/// The order is the *natural topological order* the paper's Nat partitioner
+/// consumes.
+class Circuit {
+ public:
+  Circuit() = default;
+  explicit Circuit(unsigned num_qubits, std::string name = "circuit")
+      : num_qubits_(num_qubits), name_(std::move(name)) {}
+
+  unsigned num_qubits() const { return num_qubits_; }
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  std::size_t num_gates() const { return gates_.size(); }
+  const std::vector<Gate>& gates() const { return gates_; }
+  const Gate& gate(std::size_t i) const { return gates_[i]; }
+
+  /// Appends a gate; validates that its qubits are in range.
+  void add(Gate g);
+
+  /// Appends all gates of `other` (qubit counts must match).
+  void append(const Circuit& other);
+
+  /// Circuit depth: longest chain of qubit-dependent gates.
+  unsigned depth() const;
+
+  /// Gate-kind histogram, e.g. {"h": 30, "cx": 29}.
+  std::map<std::string, std::size_t> gate_histogram() const;
+
+  /// Count of distinct qubits actually touched by gates.
+  unsigned used_qubits() const;
+
+  /// State-vector bytes required to simulate this circuit flat.
+  Index memory_bytes() const { return dim(num_qubits_) * kAmpBytes; }
+
+  /// Multi-line summary used by Table I.
+  std::string summary() const;
+
+  bool operator==(const Circuit& o) const {
+    return num_qubits_ == o.num_qubits_ && gates_ == o.gates_;
+  }
+
+ private:
+  unsigned num_qubits_ = 0;
+  std::string name_ = "circuit";
+  std::vector<Gate> gates_;
+};
+
+}  // namespace hisim

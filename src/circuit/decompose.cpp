@@ -1,0 +1,263 @@
+#include "circuit/decompose.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hisim {
+namespace {
+
+constexpr cplx kI{0.0, 1.0};
+constexpr double kEps = 1e-12;
+
+void emit(std::vector<Gate>& out, const std::vector<Gate>& gs) {
+  out.insert(out.end(), gs.begin(), gs.end());
+}
+
+/// Controlled application of an arbitrary 2x2 unitary using the
+/// A-X-B-X-C construction (N&C Fig. 4.6): emits only 1q gates + CX.
+std::vector<Gate> controlled_u_gates(Qubit c, Qubit t, const Matrix& u) {
+  const ZyzAngles a = zyz_decompose(u);
+  std::vector<Gate> out;
+  // C = Rz((delta-beta)/2)
+  out.push_back(Gate::rz(t, (a.delta - a.beta) / 2));
+  out.push_back(Gate::cx(c, t));
+  // B = Ry(-gamma/2) Rz(-(delta+beta)/2): Rz applied first.
+  out.push_back(Gate::rz(t, -(a.delta + a.beta) / 2));
+  out.push_back(Gate::ry(t, -a.gamma / 2));
+  out.push_back(Gate::cx(c, t));
+  // A = Rz(beta) Ry(gamma/2): Ry applied first.
+  out.push_back(Gate::ry(t, a.gamma / 2));
+  out.push_back(Gate::rz(t, a.beta));
+  // Phase e^{i alpha} conditioned on the control.
+  if (std::abs(a.alpha) > kEps) out.push_back(Gate::p(c, a.alpha));
+  return out;
+}
+
+std::vector<Gate> mcx_gates(const std::vector<Qubit>& cs, Qubit t,
+                            unsigned max_arity);
+
+/// Multi-controlled U via the Barenco V-recursion:
+///   C^k(U) = C(V on ck->t) . C^{k-1}(X on c1..c_{k-1}->ck)
+///          . C(V^dag on ck->t) . C^{k-1}(X ...) . C^{k-1}(V on c1..->t)
+/// with V = sqrt(U).
+std::vector<Gate> mcu_gates(const std::vector<Qubit>& cs, Qubit t,
+                            const Matrix& u, unsigned max_arity) {
+  HISIM_CHECK(!cs.empty());
+  if (cs.size() == 1) return controlled_u_gates(cs[0], t, u);
+  const Matrix v = sqrt_unitary_2x2(u);
+  const Matrix vdg = v.adjoint();
+  std::vector<Qubit> rest(cs.begin(), cs.end() - 1);
+  const Qubit ck = cs.back();
+  std::vector<Gate> out;
+  emit(out, controlled_u_gates(ck, t, v));
+  emit(out, mcx_gates(rest, ck, max_arity));
+  emit(out, controlled_u_gates(ck, t, vdg));
+  emit(out, mcx_gates(rest, ck, max_arity));
+  emit(out, mcu_gates(rest, t, v, max_arity));
+  return out;
+}
+
+std::vector<Gate> ccx_gates(Qubit a, Qubit b, Qubit c) {
+  // Standard qelib1 Toffoli (6 CX + 9 single-qubit gates).
+  return {Gate::h(c),      Gate::cx(b, c), Gate::tdg(c), Gate::cx(a, c),
+          Gate::t(c),      Gate::cx(b, c), Gate::tdg(c), Gate::cx(a, c),
+          Gate::t(b),      Gate::t(c),     Gate::h(c),   Gate::cx(a, b),
+          Gate::t(a),      Gate::tdg(b),   Gate::cx(a, b)};
+}
+
+std::vector<Gate> mcx_gates(const std::vector<Qubit>& cs, Qubit t,
+                            unsigned max_arity) {
+  if (cs.size() == 1) return {Gate::cx(cs[0], t)};
+  if (cs.size() == 2) {
+    if (max_arity >= 3) return {Gate::ccx(cs[0], cs[1], t)};
+    return ccx_gates(cs[0], cs[1], t);
+  }
+  return mcu_gates(cs, t, Gate::x(0).target_matrix(), max_arity);
+}
+
+}  // namespace
+
+ZyzAngles zyz_decompose(const Matrix& u) {
+  HISIM_CHECK(u.rows() == 2 && u.cols() == 2);
+  const cplx det = u(0, 0) * u(1, 1) - u(0, 1) * u(1, 0);
+  const double alpha = 0.5 * std::arg(det);
+  const cplx ph = std::exp(-kI * alpha);
+  const cplx v00 = ph * u(0, 0), v10 = ph * u(1, 0);
+  const double gamma = 2.0 * std::atan2(std::abs(v10), std::abs(v00));
+  double sum, diff;  // sum = beta+delta, diff = beta-delta
+  if (std::abs(v00) > kEps) {
+    sum = -2.0 * std::arg(v00);
+  } else {
+    sum = 0.0;
+  }
+  if (std::abs(v10) > kEps) {
+    diff = 2.0 * std::arg(v10);
+  } else {
+    diff = 0.0;
+  }
+  return {alpha, (sum + diff) / 2, gamma, (sum - diff) / 2};
+}
+
+Matrix sqrt_unitary_2x2(const Matrix& u) {
+  HISIM_CHECK(u.rows() == 2 && u.cols() == 2);
+  // Eigenvalues from the characteristic polynomial.
+  const cplx tr = u(0, 0) + u(1, 1);
+  const cplx det = u(0, 0) * u(1, 1) - u(0, 1) * u(1, 0);
+  const cplx disc = std::sqrt(tr * tr - 4.0 * det);
+  const cplx l1 = (tr + disc) / 2.0, l2 = (tr - disc) / 2.0;
+  if (std::abs(l1 - l2) < kEps) {
+    // U = l * I (unitary with equal eigenvalues and normal => scalar).
+    Matrix r = Matrix::identity(2);
+    return r * std::sqrt(l1);
+  }
+  // Eigenvectors: (U - l2 I) has columns proportional to the l1-eigenvector.
+  auto eigvec = [&](cplx lam) {
+    cplx x, y;
+    if (std::abs(u(0, 1)) > kEps) {
+      x = u(0, 1);
+      y = lam - u(0, 0);
+    } else if (std::abs(u(1, 0)) > kEps) {
+      x = lam - u(1, 1);
+      y = u(1, 0);
+    } else {
+      // Diagonal: eigenvectors are basis vectors.
+      if (std::abs(u(0, 0) - lam) < std::abs(u(1, 1) - lam)) {
+        x = 1; y = 0;
+      } else {
+        x = 0; y = 1;
+      }
+    }
+    const double n = std::sqrt(std::norm(x) + std::norm(y));
+    return std::pair<cplx, cplx>{x / n, y / n};
+  };
+  const auto [a1, b1] = eigvec(l1);
+  const auto [a2, b2] = eigvec(l2);
+  Matrix v(2, 2);
+  v(0, 0) = a1; v(0, 1) = a2; v(1, 0) = b1; v(1, 1) = b2;
+  const cplx vdet = v(0, 0) * v(1, 1) - v(0, 1) * v(1, 0);
+  Matrix vinv(2, 2);
+  vinv(0, 0) = v(1, 1) / vdet;
+  vinv(0, 1) = -v(0, 1) / vdet;
+  vinv(1, 0) = -v(1, 0) / vdet;
+  vinv(1, 1) = v(0, 0) / vdet;
+  Matrix d(2, 2);
+  d(0, 0) = std::sqrt(l1);
+  d(1, 1) = std::sqrt(l2);
+  return v * d * vinv;
+}
+
+std::vector<Gate> decompose_gate(const Gate& g, unsigned max_arity) {
+  HISIM_CHECK(max_arity >= 2);
+  if (g.arity() <= max_arity) return {g};
+  switch (g.kind) {
+    case GateKind::CCX:
+      return ccx_gates(g.qubits[0], g.qubits[1], g.qubits[2]);
+    case GateKind::CSWAP: {
+      const Qubit c = g.qubits[0], a = g.qubits[1], b = g.qubits[2];
+      std::vector<Gate> out{Gate::cx(b, a)};
+      emit(out, decompose_gate(Gate::ccx(c, a, b), max_arity));
+      out.push_back(Gate::cx(b, a));
+      return out;
+    }
+    case GateKind::MCX: {
+      std::vector<Qubit> cs(g.qubits.begin(), g.qubits.end() - 1);
+      return mcx_gates(cs, g.qubits.back(), max_arity);
+    }
+    default:
+      throw Error("cannot decompose " + gate_name(g.kind) + " of arity " +
+                  std::to_string(g.arity()) + " below " +
+                  std::to_string(max_arity));
+  }
+}
+
+Circuit lower(const Circuit& c, unsigned max_arity) {
+  Circuit out(c.num_qubits(), c.name() + "_lowered");
+  for (const Gate& g : c.gates())
+    for (Gate& e : decompose_gate(g, max_arity)) out.add(std::move(e));
+  return out;
+}
+
+Circuit lower_to_1q_cx(const Circuit& c) {
+  Circuit out(c.num_qubits(), c.name() + "_1qcx");
+  for (const Gate& g : c.gates()) {
+    if (g.arity() == 1 || g.kind == GateKind::CX) {
+      out.add(g);
+      continue;
+    }
+    switch (g.kind) {
+      case GateKind::CZ:
+        out.add(Gate::h(g.qubits[1]));
+        out.add(Gate::cx(g.qubits[0], g.qubits[1]));
+        out.add(Gate::h(g.qubits[1]));
+        break;
+      case GateKind::CY:
+        out.add(Gate::sdg(g.qubits[1]));
+        out.add(Gate::cx(g.qubits[0], g.qubits[1]));
+        out.add(Gate::s(g.qubits[1]));
+        break;
+      case GateKind::SWAP:
+        out.add(Gate::cx(g.qubits[0], g.qubits[1]));
+        out.add(Gate::cx(g.qubits[1], g.qubits[0]));
+        out.add(Gate::cx(g.qubits[0], g.qubits[1]));
+        break;
+      case GateKind::RZZ:
+        out.add(Gate::cx(g.qubits[0], g.qubits[1]));
+        out.add(Gate::rz(g.qubits[1], g.params[0]));
+        out.add(Gate::cx(g.qubits[0], g.qubits[1]));
+        break;
+      case GateKind::RXX:
+        out.add(Gate::h(g.qubits[0]));
+        out.add(Gate::h(g.qubits[1]));
+        out.add(Gate::cx(g.qubits[0], g.qubits[1]));
+        out.add(Gate::rz(g.qubits[1], g.params[0]));
+        out.add(Gate::cx(g.qubits[0], g.qubits[1]));
+        out.add(Gate::h(g.qubits[0]));
+        out.add(Gate::h(g.qubits[1]));
+        break;
+      case GateKind::CP: {
+        // qelib1 cu1.
+        const Qubit c0 = g.qubits[0], t = g.qubits[1];
+        const double lam = g.params[0];
+        out.add(Gate::p(c0, lam / 2));
+        out.add(Gate::cx(c0, t));
+        out.add(Gate::p(t, -lam / 2));
+        out.add(Gate::cx(c0, t));
+        out.add(Gate::p(t, lam / 2));
+        break;
+      }
+      case GateKind::CRZ: {
+        const Qubit c0 = g.qubits[0], t = g.qubits[1];
+        out.add(Gate::rz(t, g.params[0] / 2));
+        out.add(Gate::cx(c0, t));
+        out.add(Gate::rz(t, -g.params[0] / 2));
+        out.add(Gate::cx(c0, t));
+        break;
+      }
+      case GateKind::CH: case GateKind::CRX: case GateKind::CRY:
+      case GateKind::CU3:
+        for (Gate& e :
+             controlled_u_gates(g.qubits[0], g.qubits[1], g.target_matrix()))
+          out.add(std::move(e));
+        break;
+      case GateKind::CCX: case GateKind::CSWAP: case GateKind::MCX: {
+        // Lower to arity-2 first (CCX path already yields 1q+CX).
+        for (Gate& e : decompose_gate(g, 2)) {
+          if (e.arity() == 1 || e.kind == GateKind::CX) {
+            out.add(std::move(e));
+          } else {
+            Circuit tmp(c.num_qubits());
+            tmp.add(std::move(e));
+            out.append(lower_to_1q_cx(tmp));
+          }
+        }
+        break;
+      }
+      default:
+        throw Error("lower_to_1q_cx: unsupported kind " + gate_name(g.kind));
+    }
+  }
+  return out;
+}
+
+}  // namespace hisim

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "circuit/gate.hpp"
+
+namespace hisim {
+
+/// ZYZ Euler angles of a 2x2 unitary: U = e^{i alpha} Rz(beta) Ry(gamma)
+/// Rz(delta). Foundation of the controlled-U decomposition (Nielsen &
+/// Chuang Sec. 4.3), which the paper's footnote relies on to reduce
+/// multi-control gates to the single-qubit case.
+struct ZyzAngles {
+  double alpha, beta, gamma, delta;
+};
+ZyzAngles zyz_decompose(const Matrix& u2x2);
+
+/// Principal square root of a 2x2 unitary (V with V*V == U).
+Matrix sqrt_unitary_2x2(const Matrix& u2x2);
+
+/// Expands one gate into gates of arity <= `max_arity` (>= 2). Gates
+/// already within the limit are returned unchanged. MCX/multi-controlled
+/// expansion uses the ancilla-free Barenco recursion, so the emitted count
+/// grows exponentially with the control count — intended for lowering the
+/// occasional wide gate, not for bulk translation of wide-oracle circuits.
+std::vector<Gate> decompose_gate(const Gate& g, unsigned max_arity = 2);
+
+/// Lowers every gate of `c` to arity <= max_arity.
+Circuit lower(const Circuit& c, unsigned max_arity = 2);
+
+/// Fully lowers to the {single-qubit, CX} basis (SWAP/RZZ/CZ/... included).
+Circuit lower_to_1q_cx(const Circuit& c);
+
+}  // namespace hisim

@@ -1,0 +1,104 @@
+#include "circuit/fusion.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace hisim {
+
+Matrix embed_unitary(const Gate& gate, const std::vector<Qubit>& support) {
+  HISIM_CHECK(std::is_sorted(support.begin(), support.end()));
+  const unsigned w = static_cast<unsigned>(support.size());
+  HISIM_CHECK_MSG(w <= 12, "embed_unitary limited to 12 qubits");
+  // Position of each gate qubit within the support.
+  std::vector<unsigned> pos(gate.arity());
+  for (unsigned j = 0; j < gate.arity(); ++j) {
+    const auto it = std::lower_bound(support.begin(), support.end(),
+                                     gate.qubits[j]);
+    HISIM_CHECK_MSG(it != support.end() && *it == gate.qubits[j],
+                    "gate qubit not in support");
+    pos[j] = static_cast<unsigned>(it - support.begin());
+  }
+  const Matrix u = gate.matrix();
+  const Index kdim = Index{1} << gate.arity();
+  const Index dim_w = Index{1} << w;
+  Matrix out(dim_w, dim_w);
+  // For each assignment of the non-gate support qubits, copy u's block.
+  Index gate_mask = 0;
+  for (unsigned j = 0; j < gate.arity(); ++j) gate_mask |= Index{1} << pos[j];
+  const Index rest_mask = ~gate_mask & (dim_w - 1);
+  const Index rest_dim = dim_w >> gate.arity();
+  for (Index m = 0; m < rest_dim; ++m) {
+    const Index base = bits::deposit(m, rest_mask);
+    for (Index r = 0; r < kdim; ++r) {
+      Index row = base;
+      for (unsigned j = 0; j < gate.arity(); ++j)
+        if (bits::test(r, j)) row |= Index{1} << pos[j];
+      for (Index cc = 0; cc < kdim; ++cc) {
+        const cplx v = u(r, cc);
+        if (v == cplx{}) continue;
+        Index col = base;
+        for (unsigned j = 0; j < gate.arity(); ++j)
+          if (bits::test(cc, j)) col |= Index{1} << pos[j];
+        out(row, col) = v;
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Emits one fused gate (or the original when the run has length 1).
+void flush_run(Circuit& out, const Circuit& in,
+               const std::vector<std::size_t>& run,
+               const std::set<Qubit>& support_set) {
+  if (run.empty()) return;
+  if (run.size() == 1) {
+    out.add(in.gate(run[0]));
+    return;
+  }
+  const std::vector<Qubit> support(support_set.begin(), support_set.end());
+  Matrix total = Matrix::identity(Index{1} << support.size());
+  for (std::size_t gi : run)
+    total = embed_unitary(in.gate(gi), support) * total;
+  out.add(Gate::unitary(support, std::move(total)));
+}
+
+}  // namespace
+
+Circuit fuse(const Circuit& c, const FusionOptions& opt) {
+  HISIM_CHECK(opt.max_qubits >= 1 && opt.max_qubits <= 10);
+  Circuit out(c.num_qubits(), c.name() + "_fused");
+  std::vector<std::size_t> run;
+  std::set<Qubit> support;
+  for (std::size_t i = 0; i < c.num_gates(); ++i) {
+    const Gate& g = c.gate(i);
+    if (g.arity() > opt.max_qubits) {
+      HISIM_CHECK_MSG(opt.keep_wide_gates,
+                      "gate wider than fusion limit: " << g.to_string());
+      flush_run(out, c, run, support);
+      run.clear();
+      support.clear();
+      out.add(g);
+      continue;
+    }
+    std::set<Qubit> merged = support;
+    merged.insert(g.qubits.begin(), g.qubits.end());
+    if (merged.size() > opt.max_qubits) {
+      flush_run(out, c, run, support);
+      run.clear();
+      support.clear();
+      support.insert(g.qubits.begin(), g.qubits.end());
+    } else {
+      support = std::move(merged);
+    }
+    run.push_back(i);
+  }
+  flush_run(out, c, run, support);
+  return out;
+}
+
+}  // namespace hisim

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "circuit/circuit.hpp"
+
+namespace hisim {
+
+/// Gate fusion: merges *consecutive* gates whose combined qubit support
+/// stays within `max_qubits` into single dense Unitary gates. The paper
+/// positions HiSVSIM as orthogonal to gate fusion (Sec. II-C); this pass
+/// lets the ablation benches demonstrate that claim — fusion shrinks the
+/// gate count each part executes, partitioning still decides the memory
+/// movement.
+///
+/// Only adjacency in program order is exploited (no commutation analysis),
+/// so the result is trivially equivalent: it applies the same operator
+/// product. Runs of length one are left as the original gate.
+struct FusionOptions {
+  unsigned max_qubits = 3;   // widest fused unitary (2^k x 2^k matrices)
+  /// Do not fuse across gates wider than max_qubits (they pass through
+  /// unchanged and break the current run).
+  bool keep_wide_gates = true;
+};
+
+Circuit fuse(const Circuit& c, const FusionOptions& opt = {});
+
+/// Expands `gate`'s unitary onto the qubit set `support` (sorted): bit j
+/// of the returned matrix's indices corresponds to support[j]. Every
+/// qubit of the gate must appear in `support`. Building block of fusion
+/// and of test oracles.
+Matrix embed_unitary(const Gate& gate, const std::vector<Qubit>& support);
+
+}  // namespace hisim

@@ -1,0 +1,134 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/matrix.hpp"
+#include "common/types.hpp"
+
+namespace hisim {
+
+/// Gate vocabulary. Mirrors the OpenQASM 2.0 qelib1 set used by
+/// QASMBench, plus the two-qubit rotations (RZZ/RXX) common in Ising/QAOA
+/// circuits and a raw-unitary escape hatch.
+enum class GateKind {
+  // single qubit
+  I, X, Y, Z, H, S, Sdg, T, Tdg, SX,
+  RX, RY, RZ, P,      // P == U1: phase gate
+  U2, U3,
+  // controlled single-target
+  CX, CY, CZ, CH, CRX, CRY, CRZ, CP, CU3,
+  // other two qubit
+  SWAP, RZZ, RXX,
+  // three qubit
+  CCX, CSWAP,
+  // n-control X (controls = all but last qubit)
+  MCX,
+  // raw unitary on qubits.size() qubits
+  Unitary,
+};
+
+/// Number of parameters each kind takes (Unitary carries a matrix instead).
+unsigned gate_param_count(GateKind kind);
+
+/// Lower-case mnemonic matching qelib1 naming (cp -> "cu1", p -> "u1").
+std::string gate_name(GateKind kind);
+
+/// A gate application: `kind` acting on `qubits` (for controlled kinds the
+/// *last* qubit is the target, all earlier ones are controls) with real
+/// `params` (rotation angles, in radians).
+///
+/// Local-index convention: for a k-qubit gate, bit j of the local index
+/// corresponds to qubits[j]; unitaries returned by matrix() are expressed
+/// in this basis.
+struct Gate {
+  GateKind kind = GateKind::I;
+  std::vector<Qubit> qubits;
+  std::vector<double> params;
+  Matrix custom;  // only for kind == Unitary
+
+  unsigned arity() const { return static_cast<unsigned>(qubits.size()); }
+
+  /// Number of control qubits (0 for non-controlled kinds; for MCX all but
+  /// the last qubit).
+  unsigned num_controls() const;
+
+  /// True if the gate's unitary is diagonal in the computational basis.
+  bool is_diagonal() const;
+
+  /// The full 2^k x 2^k unitary in the local-index convention above.
+  /// Throws for MCX with more than 12 qubits (callers use the controlled
+  /// fast path instead).
+  Matrix matrix() const;
+
+  /// The 2x2 base matrix applied to the target qubit for controlled kinds
+  /// and plain single-qubit kinds. Throws for SWAP/RZZ/RXX/CSWAP/Unitary.
+  Matrix target_matrix() const;
+
+  /// Human-readable form, e.g. "cx q[0],q[3]" or "rz(0.5) q[2]".
+  std::string to_string() const;
+
+  bool operator==(const Gate& o) const;
+
+  // ---- factories ------------------------------------------------------
+  static Gate i(Qubit q) { return make(GateKind::I, {q}, {}); }
+  static Gate x(Qubit q) { return make(GateKind::X, {q}, {}); }
+  static Gate y(Qubit q) { return make(GateKind::Y, {q}, {}); }
+  static Gate z(Qubit q) { return make(GateKind::Z, {q}, {}); }
+  static Gate h(Qubit q) { return make(GateKind::H, {q}, {}); }
+  static Gate s(Qubit q) { return make(GateKind::S, {q}, {}); }
+  static Gate sdg(Qubit q) { return make(GateKind::Sdg, {q}, {}); }
+  static Gate t(Qubit q) { return make(GateKind::T, {q}, {}); }
+  static Gate tdg(Qubit q) { return make(GateKind::Tdg, {q}, {}); }
+  static Gate sx(Qubit q) { return make(GateKind::SX, {q}, {}); }
+  static Gate rx(Qubit q, double th) { return make(GateKind::RX, {q}, {th}); }
+  static Gate ry(Qubit q, double th) { return make(GateKind::RY, {q}, {th}); }
+  static Gate rz(Qubit q, double th) { return make(GateKind::RZ, {q}, {th}); }
+  static Gate p(Qubit q, double lam) { return make(GateKind::P, {q}, {lam}); }
+  static Gate u2(Qubit q, double phi, double lam) {
+    return make(GateKind::U2, {q}, {phi, lam});
+  }
+  static Gate u3(Qubit q, double th, double phi, double lam) {
+    return make(GateKind::U3, {q}, {th, phi, lam});
+  }
+  static Gate cx(Qubit c, Qubit t) { return make(GateKind::CX, {c, t}, {}); }
+  static Gate cy(Qubit c, Qubit t) { return make(GateKind::CY, {c, t}, {}); }
+  static Gate cz(Qubit c, Qubit t) { return make(GateKind::CZ, {c, t}, {}); }
+  static Gate ch(Qubit c, Qubit t) { return make(GateKind::CH, {c, t}, {}); }
+  static Gate crx(Qubit c, Qubit t, double th) {
+    return make(GateKind::CRX, {c, t}, {th});
+  }
+  static Gate cry(Qubit c, Qubit t, double th) {
+    return make(GateKind::CRY, {c, t}, {th});
+  }
+  static Gate crz(Qubit c, Qubit t, double th) {
+    return make(GateKind::CRZ, {c, t}, {th});
+  }
+  static Gate cp(Qubit c, Qubit t, double lam) {
+    return make(GateKind::CP, {c, t}, {lam});
+  }
+  static Gate cu3(Qubit c, Qubit t, double th, double phi, double lam) {
+    return make(GateKind::CU3, {c, t}, {th, phi, lam});
+  }
+  static Gate swap(Qubit a, Qubit b) { return make(GateKind::SWAP, {a, b}, {}); }
+  static Gate rzz(Qubit a, Qubit b, double th) {
+    return make(GateKind::RZZ, {a, b}, {th});
+  }
+  static Gate rxx(Qubit a, Qubit b, double th) {
+    return make(GateKind::RXX, {a, b}, {th});
+  }
+  static Gate ccx(Qubit c0, Qubit c1, Qubit t) {
+    return make(GateKind::CCX, {c0, c1, t}, {});
+  }
+  static Gate cswap(Qubit c, Qubit a, Qubit b) {
+    return make(GateKind::CSWAP, {c, a, b}, {});
+  }
+  static Gate mcx(std::vector<Qubit> controls_then_target);
+  static Gate unitary(std::vector<Qubit> qubits, Matrix u);
+
+ private:
+  static Gate make(GateKind kind, std::vector<Qubit> qs,
+                   std::vector<double> ps);
+};
+
+}  // namespace hisim

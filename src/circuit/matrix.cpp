@@ -1,0 +1,68 @@
+#include "circuit/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hisim {
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  HISIM_CHECK(cols_ == rhs.rows_);
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const cplx a = (*this)(i, k);
+      if (a == cplx{}) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j) out(i, j) += a * rhs(k, j);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::operator*(cplx s) const {
+  Matrix out = *this;
+  for (auto& v : out.data_) v *= s;
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  HISIM_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::adjoint() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) out(j, i) = std::conj((*this)(i, j));
+  return out;
+}
+
+Matrix Matrix::kron(const Matrix& rhs) const {
+  Matrix out(rows_ * rhs.rows_, cols_ * rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) {
+      const cplx a = (*this)(i, j);
+      if (a == cplx{}) continue;
+      for (std::size_t r = 0; r < rhs.rows_; ++r)
+        for (std::size_t c = 0; c < rhs.cols_; ++c)
+          out(i * rhs.rows_ + r, j * rhs.cols_ + c) = a * rhs(r, c);
+    }
+  return out;
+}
+
+double Matrix::max_abs_diff(const Matrix& rhs) const {
+  HISIM_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  double m = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    m = std::max(m, std::abs(data_[i] - rhs.data_[i]));
+  return m;
+}
+
+bool Matrix::is_unitary(double tol) const {
+  if (rows_ != cols_) return false;
+  const Matrix prod = (*this) * adjoint();
+  return prod.max_abs_diff(identity(rows_)) <= tol;
+}
+
+}  // namespace hisim

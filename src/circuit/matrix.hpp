@@ -1,0 +1,69 @@
+#pragma once
+
+#include <initializer_list>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace hisim {
+
+/// Small dense complex matrix (row-major). Used for gate unitaries,
+/// composition, and unitarity property tests. Dimensions stay tiny
+/// (2^k for k-qubit gates, k <= ~4), so no blocking/vectorization needed.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols) {}
+
+  /// Build from a row-major initializer list; n must be a perfect square
+  /// times cols... use explicit dims.
+  static Matrix from_rows(std::size_t rows, std::size_t cols,
+                          std::initializer_list<cplx> vals) {
+    HISIM_CHECK(vals.size() == rows * cols);
+    Matrix m(rows, cols);
+    std::size_t i = 0;
+    for (const auto& v : vals) m.data_[i++] = v;
+    return m;
+  }
+
+  static Matrix identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  cplx& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  const cplx& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  const std::vector<cplx>& data() const { return data_; }
+  std::vector<cplx>& data() { return data_; }
+
+  Matrix operator*(const Matrix& rhs) const;
+  Matrix operator*(cplx s) const;
+  Matrix operator+(const Matrix& rhs) const;
+
+  /// Conjugate transpose.
+  Matrix adjoint() const;
+
+  /// Kronecker product (this ⊗ rhs).
+  Matrix kron(const Matrix& rhs) const;
+
+  /// Max |a_ij - b_ij| across entries; matrices must be same shape.
+  double max_abs_diff(const Matrix& rhs) const;
+
+  /// True iff U * U^dag == I within tol.
+  bool is_unitary(double tol = 1e-10) const;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<cplx> data_;
+};
+
+}  // namespace hisim

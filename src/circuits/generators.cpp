@@ -1,0 +1,258 @@
+#include "circuits/generators.hpp"
+
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace hisim::circuits {
+namespace {
+
+/// Edge list of a connected ~3-regular graph: a ring plus random chords.
+std::vector<std::pair<Qubit, Qubit>> regular_graph(unsigned n,
+                                                   std::uint64_t seed) {
+  HISIM_CHECK(n >= 3);
+  Rng rng(seed);
+  std::set<std::pair<Qubit, Qubit>> edges;
+  for (Qubit i = 0; i < n; ++i) {
+    const Qubit j = (i + 1) % n;
+    edges.insert({std::min(i, j), std::max(i, j)});
+  }
+  // Add ~n/2 chords to approximate degree 3.
+  unsigned attempts = 0;
+  while (edges.size() < static_cast<std::size_t>(n + n / 2) &&
+         attempts++ < 20u * n) {
+    const Qubit a = static_cast<Qubit>(rng.below(n));
+    const Qubit b = static_cast<Qubit>(rng.below(n));
+    if (a == b) continue;
+    edges.insert({std::min(a, b), std::max(a, b)});
+  }
+  return {edges.begin(), edges.end()};
+}
+
+void add_zz(Circuit& c, Qubit a, Qubit b, double theta) {
+  c.add(Gate::cx(a, b));
+  c.add(Gate::rz(b, theta));
+  c.add(Gate::cx(a, b));
+}
+
+/// In-place inverse QFT on qubits [0, m) (no final swaps; the forward
+/// counterpart here emits swaps, so QPE uses this directly on the
+/// bit-reversed counting register).
+void add_iqft(Circuit& c, unsigned m) {
+  for (int i = static_cast<int>(m) - 1; i >= 0; --i) {
+    for (int j = static_cast<int>(m) - 1; j > i; --j) {
+      const double angle = -M_PI / std::pow(2.0, j - i);
+      c.add(Gate::cp(static_cast<Qubit>(j), static_cast<Qubit>(i), angle));
+    }
+    c.add(Gate::h(static_cast<Qubit>(i)));
+  }
+}
+
+}  // namespace
+
+Circuit cat_state(unsigned n) {
+  HISIM_CHECK(n >= 2);
+  Circuit c(n, "cat_state");
+  c.add(Gate::h(0));
+  for (Qubit i = 1; i < n; ++i) c.add(Gate::cx(i - 1, i));
+  return c;
+}
+
+Circuit bv(unsigned n, std::uint64_t secret) {
+  HISIM_CHECK(n >= 2);
+  Circuit c(n, "bv");
+  const Qubit anc = n - 1;
+  c.add(Gate::x(anc));
+  for (Qubit i = 0; i < n; ++i) c.add(Gate::h(i));
+  for (Qubit i = 0; i + 1 < n; ++i)
+    if ((secret >> i) & 1u) c.add(Gate::cx(i, anc));
+  for (Qubit i = 0; i + 1 < n; ++i) c.add(Gate::h(i));
+  return c;
+}
+
+Circuit qaoa(unsigned n, unsigned rounds, std::uint64_t seed) {
+  HISIM_CHECK(n >= 3);
+  Circuit c(n, "qaoa");
+  const auto edges = regular_graph(n, seed);
+  Rng rng(seed ^ 0xA0A0ull);
+  for (Qubit i = 0; i < n; ++i) c.add(Gate::h(i));
+  for (unsigned r = 0; r < rounds; ++r) {
+    const double gamma = rng.uniform(0.1, M_PI);
+    const double beta = rng.uniform(0.1, M_PI / 2);
+    for (const auto& [a, b] : edges) add_zz(c, a, b, gamma);
+    for (Qubit i = 0; i < n; ++i) c.add(Gate::rx(i, 2.0 * beta));
+  }
+  return c;
+}
+
+Circuit cc(unsigned n, std::uint64_t coins) {
+  HISIM_CHECK(n >= 3);
+  Circuit c(n, "cc");
+  const Qubit anc = n - 1;
+  // Superpose weighings over the coin register.
+  for (Qubit i = 0; i < anc; ++i) c.add(Gate::h(i));
+  c.add(Gate::x(anc));
+  c.add(Gate::h(anc));
+  // Oracle: each coin in the marked subset tips the balance.
+  for (Qubit i = 0; i < anc; ++i)
+    if ((coins >> i) & 1u) c.add(Gate::cx(i, anc));
+  for (Qubit i = 0; i < anc; ++i) c.add(Gate::h(i));
+  c.add(Gate::h(anc));
+  return c;
+}
+
+Circuit ising(unsigned n, unsigned steps, std::uint64_t seed) {
+  HISIM_CHECK(n >= 2);
+  Circuit c(n, "ising");
+  Rng rng(seed);
+  const double dt = 0.1;
+  for (unsigned s = 0; s < steps; ++s) {
+    for (Qubit i = 0; i + 1 < n; ++i) {
+      const double j = rng.uniform(0.5, 1.5);
+      add_zz(c, i, i + 1, 2.0 * j * dt);
+    }
+    for (Qubit i = 0; i < n; ++i) {
+      const double h = rng.uniform(0.5, 1.5);
+      c.add(Gate::rx(i, 2.0 * h * dt));
+    }
+  }
+  return c;
+}
+
+Circuit qft(unsigned n) {
+  HISIM_CHECK(n >= 1);
+  Circuit c(n, "qft");
+  for (Qubit i = 0; i < n; ++i) {
+    c.add(Gate::h(i));
+    for (Qubit j = i + 1; j < n; ++j)
+      c.add(Gate::cp(j, i, M_PI / std::pow(2.0, j - i)));
+  }
+  for (Qubit i = 0; i < n / 2; ++i) c.add(Gate::swap(i, n - 1 - i));
+  return c;
+}
+
+Circuit qnn(unsigned n, unsigned layers, std::uint64_t seed) {
+  HISIM_CHECK(n >= 2);
+  Circuit c(n, "qnn");
+  Rng rng(seed);
+  for (unsigned l = 0; l < layers; ++l) {
+    for (Qubit i = 0; i < n; ++i)
+      c.add(Gate::ry(i, rng.uniform(0.0, M_PI)));
+    for (Qubit i = 0; i + 1 < n; ++i) c.add(Gate::cx(i, i + 1));
+  }
+  for (Qubit i = 0; i < n; ++i) c.add(Gate::ry(i, rng.uniform(0.0, M_PI)));
+  return c;
+}
+
+Circuit grover(unsigned n, unsigned iterations, std::uint64_t marked) {
+  HISIM_CHECK(n >= 3);
+  Circuit c(n, "grover");
+  const Qubit anc = n - 1;       // phase-kickback ancilla
+  const unsigned m = n - 1;      // search register width
+  // The oracle conditions on at most 8 qubits (wider multi-controls are
+  // what compiled QASMBench circuits decompose away; capping keeps the
+  // generated gate set partitionable at every scale).
+  const unsigned w = std::min(m, 8u);
+  marked &= (std::uint64_t{1} << w) - 1;
+  for (Qubit i = 0; i < m; ++i) c.add(Gate::h(i));
+  c.add(Gate::x(anc));
+  c.add(Gate::h(anc));
+  std::vector<Qubit> all_ctl(w);
+  for (Qubit i = 0; i < w; ++i) all_ctl[i] = i;
+  for (unsigned it = 0; it < iterations; ++it) {
+    // Oracle: flip phase of |marked> (on the conditioned register).
+    for (Qubit i = 0; i < w; ++i)
+      if (!((marked >> i) & 1u)) c.add(Gate::x(i));
+    std::vector<Qubit> mcx_args = all_ctl;
+    mcx_args.push_back(anc);
+    c.add(Gate::mcx(mcx_args));
+    for (Qubit i = 0; i < w; ++i)
+      if (!((marked >> i) & 1u)) c.add(Gate::x(i));
+    // Diffusion: reflect about the mean.
+    for (Qubit i = 0; i < m; ++i) c.add(Gate::h(i));
+    for (Qubit i = 0; i < w; ++i) c.add(Gate::x(i));
+    c.add(Gate::mcx(mcx_args));
+    for (Qubit i = 0; i < w; ++i) c.add(Gate::x(i));
+    for (Qubit i = 0; i < m; ++i) c.add(Gate::h(i));
+  }
+  return c;
+}
+
+Circuit qpe(unsigned n, double phi) {
+  HISIM_CHECK(n >= 2);
+  Circuit c(n, "qpe");
+  const unsigned t = n - 1;  // counting qubits [0, t), eigenstate qubit t
+  c.add(Gate::x(t));         // |1> is the e^{2 pi i phi} eigenstate of P
+  for (Qubit i = 0; i < t; ++i) c.add(Gate::h(i));
+  for (Qubit i = 0; i < t; ++i) {
+    const double angle = 2.0 * M_PI * phi * std::pow(2.0, i);
+    c.add(Gate::cp(i, t, angle));
+  }
+  add_iqft(c, t);
+  return c;
+}
+
+Circuit adder(unsigned n, std::uint64_t a, std::uint64_t b) {
+  HISIM_CHECK(n >= 4);
+  const unsigned m = (n - 2) / 2;  // bits per addend
+  Circuit c(n, "adder");
+  // Layout: cin = 0, a_i = 1 + i, b_i = 1 + m + i, cout = 1 + 2m.
+  const Qubit cin = 0, cout = 1 + 2 * m;
+  auto qa = [&](unsigned i) { return static_cast<Qubit>(1 + i); };
+  auto qb = [&](unsigned i) { return static_cast<Qubit>(1 + m + i); };
+  for (unsigned i = 0; i < m; ++i) {
+    if ((a >> i) & 1u) c.add(Gate::x(qa(i)));
+    if ((b >> i) & 1u) c.add(Gate::x(qb(i)));
+  }
+  auto maj = [&](Qubit x, Qubit y, Qubit z) {
+    c.add(Gate::cx(z, y));
+    c.add(Gate::cx(z, x));
+    c.add(Gate::ccx(x, y, z));
+  };
+  auto uma = [&](Qubit x, Qubit y, Qubit z) {
+    c.add(Gate::ccx(x, y, z));
+    c.add(Gate::cx(z, x));
+    c.add(Gate::cx(x, y));
+  };
+  // Cuccaro 2004: MAJ chain up, carry out, UMA chain down. b := a + b.
+  maj(cin, qb(0), qa(0));
+  for (unsigned i = 1; i < m; ++i) maj(qa(i - 1), qb(i), qa(i));
+  c.add(Gate::cx(qa(m - 1), cout));
+  for (unsigned i = m; i-- > 1;) uma(qa(i - 1), qb(i), qa(i));
+  uma(cin, qb(0), qa(0));
+  return c;
+}
+
+const std::vector<BenchCircuit>& qasmbench_suite() {
+  static const std::vector<BenchCircuit> suite = {
+      {"cat_state", 30, 60, "16 GB", 16, [](unsigned n) { return cat_state(n); }},
+      {"bv", 30, 102, "16 GB", 16, [](unsigned n) { return bv(n); }},
+      {"qaoa", 30, 1380, "16 GB", 16, [](unsigned n) { return qaoa(n); }},
+      {"cc", 30, 149, "16 GB", 16, [](unsigned n) { return cc(n); }},
+      {"ising", 30, 354, "16 GB", 16, [](unsigned n) { return ising(n); }},
+      {"qft", 30, 2235, "16 GB", 16, [](unsigned n) { return qft(n); }},
+      {"qnn", 31, 164, "32 GB", 17, [](unsigned n) { return qnn(n); }},
+      {"grover", 31, 207, "32 GB", 17, [](unsigned n) { return grover(n); }},
+      {"qpe", 31, 5731, "32 GB", 17, [](unsigned n) { return qpe(n); }},
+      {"bv35", 35, 119, "512 GB", 18, [](unsigned n) { return bv(n); }},
+      {"ising35", 35, 414, "512 GB", 18, [](unsigned n) { return ising(n); }},
+      {"cc36", 36, 106, "1 TB", 18, [](unsigned n) { return cc(n); }},
+      {"adder37", 37, 154, "2 TB", 18, [](unsigned n) { return adder(n); }},
+  };
+  return suite;
+}
+
+Circuit make_by_name(const std::string& name, unsigned n) {
+  for (const BenchCircuit& b : qasmbench_suite()) {
+    if (b.name == name) {
+      Circuit c = b.make(n);
+      c.set_name(b.name);
+      return c;
+    }
+  }
+  throw Error("unknown benchmark circuit: " + name);
+}
+
+}  // namespace hisim::circuits

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+/// Programmatic generators for the 13 QASMBench-family benchmark circuits
+/// of Table I. Each follows the published construction of its algorithm;
+/// qubit counts are parametric so experiments can run at laptop scale and
+/// at the paper's 30-37 qubit scale on bigger machines.
+namespace hisim::circuits {
+
+/// GHZ / Schrödinger-cat state: H then a CX chain.
+Circuit cat_state(unsigned n);
+
+/// Bernstein-Vazirani with an n-1 bit secret (qubit n-1 is the oracle
+/// ancilla). Bits of `secret` beyond n-1 are ignored.
+Circuit bv(unsigned n, std::uint64_t secret = 0xB57AC1Eull);
+
+/// MaxCut QAOA on a random 3-regular-ish graph: `rounds` alternating cost
+/// (CX-RZ-CX per edge) and mixer (RX) layers after an initial H layer.
+Circuit qaoa(unsigned n, unsigned rounds = 8, std::uint64_t seed = 7);
+
+/// Counterfeit-coin finding: superposed weighings of a marked coin subset
+/// against an oracle ancilla (qubit n-1).
+Circuit cc(unsigned n, std::uint64_t coins = 0x5A5A5A5Aull);
+
+/// Trotterized transverse-field Ising model: per step, nearest-neighbour
+/// ZZ couplings (CX-RZ-CX) plus RX on every site.
+Circuit ising(unsigned n, unsigned steps = 3, std::uint64_t seed = 11);
+
+/// Quantum Fourier transform (H + controlled-phase ladder + final swaps).
+Circuit qft(unsigned n);
+
+/// Hardware-efficient QNN ansatz: RY layers with CX entangler chains.
+Circuit qnn(unsigned n, unsigned layers = 2, std::uint64_t seed = 13);
+
+/// Grover search marking basis state `marked` (mod 2^(n-1)); uses native
+/// multi-controlled X for the oracle and diffusion reflections.
+Circuit grover(unsigned n, unsigned iterations = 1,
+               std::uint64_t marked = 0x2A);
+
+/// Quantum phase estimation of a phase gate with phase `phi` (n-1
+/// counting qubits + 1 eigenstate qubit), including the inverse QFT.
+Circuit qpe(unsigned n, double phi = 0.1015625);
+
+/// Cuccaro ripple-carry adder on two (n-2)/2-bit registers with carry-in
+/// and carry-out ancillas; inputs are prepared with X gates from `a`/`b`.
+Circuit adder(unsigned n, std::uint64_t a = 0b101101, std::uint64_t b = 0b11011);
+
+/// One Table I row: paper-scale metadata plus a parametric factory.
+struct BenchCircuit {
+  std::string name;
+  unsigned paper_qubits;
+  std::size_t paper_gates;
+  std::string paper_memory;
+  unsigned default_qubits;  // scaled size used by this repo's benches
+  std::function<Circuit(unsigned)> make;
+};
+
+/// The 13 benchmarks of Table I in paper order. `scale` shrinks the
+/// default qubit counts further (0 < scale <= 1) for quick runs.
+const std::vector<BenchCircuit>& qasmbench_suite();
+
+/// Builds one suite circuit by name at `n` qubits (throws on unknown name).
+Circuit make_by_name(const std::string& name, unsigned n);
+
+}  // namespace hisim::circuits

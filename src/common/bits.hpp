@@ -1,0 +1,70 @@
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+/// Bit-manipulation helpers used by the gather/scatter machinery and the
+/// distributed rank layout. All operate on little-endian qubit numbering:
+/// qubit q corresponds to bit q of an amplitude index.
+namespace hisim::bits {
+
+/// Test bit `b` of `x`.
+constexpr bool test(Index x, unsigned b) noexcept { return (x >> b) & 1u; }
+
+/// Set bit `b` of `x` to `v`.
+constexpr Index with_bit(Index x, unsigned b, bool v) noexcept {
+  return v ? (x | (Index{1} << b)) : (x & ~(Index{1} << b));
+}
+
+/// Insert a zero bit at position `b`: bits [b..] of `x` shift up by one.
+/// insert_zero(0b1011, 1) == 0b10101.  This is the core primitive for
+/// enumerating amplitude pairs when applying a gate to qubit `b`.
+constexpr Index insert_zero(Index x, unsigned b) noexcept {
+  const Index low = x & ((Index{1} << b) - 1);
+  const Index high = (x >> b) << (b + 1);
+  return high | low;
+}
+
+/// Software PDEP: scatter the low bits of `x` into the set bit positions of
+/// `mask` (lowest bit of x goes to lowest set bit of mask).
+constexpr Index deposit(Index x, Index mask) noexcept {
+  Index out = 0;
+  while (mask != 0 && x != 0) {
+    const Index lsb = mask & (~mask + 1);
+    if (x & 1u) out |= lsb;
+    x >>= 1;
+    mask ^= lsb;
+  }
+  return out;
+}
+
+/// Software PEXT: gather the bits of `x` at the set positions of `mask`
+/// into a contiguous low-order value.
+constexpr Index extract(Index x, Index mask) noexcept {
+  Index out = 0;
+  unsigned shift = 0;
+  while (mask != 0) {
+    const Index lsb = mask & (~mask + 1);
+    if (x & lsb) out |= Index{1} << shift;
+    ++shift;
+    mask ^= lsb;
+  }
+  return out;
+}
+
+/// Number of set bits.
+constexpr unsigned popcount(Index x) noexcept {
+  return static_cast<unsigned>(std::popcount(x));
+}
+
+/// True iff `x` is a power of two (and nonzero).
+constexpr bool is_pow2(Index x) noexcept { return x != 0 && (x & (x - 1)) == 0; }
+
+/// floor(log2(x)) for x > 0.
+constexpr unsigned log2_floor(Index x) noexcept {
+  return 63u - static_cast<unsigned>(std::countl_zero(x));
+}
+
+}  // namespace hisim::bits

@@ -1,0 +1,130 @@
+#include "common/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hisim::parallel {
+namespace {
+
+unsigned g_threads = 0;  // 0 = hardware_concurrency
+
+unsigned resolved_threads() {
+  if (g_threads != 0) return g_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// A minimal fork-join pool: workers sleep between parallel regions.
+/// Recreated if the requested width changes.
+class Pool {
+ public:
+  explicit Pool(unsigned width) : width_(width) {
+    for (unsigned i = 1; i < width_; ++i) {
+      workers_.emplace_back([this, i] { worker_loop(i); });
+    }
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard lk(mu_);
+      stop_ = true;
+      ++epoch_;
+    }
+    cv_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  unsigned width() const { return width_; }
+
+  void run(Index begin, Index end, Index grain,
+           const std::function<void(Index, Index)>& fn) {
+    const Index n = end - begin;
+    const Index chunks = (n + grain - 1) / grain;
+    {
+      std::lock_guard lk(mu_);
+      begin_ = begin;
+      end_ = end;
+      grain_ = grain;
+      fn_ = &fn;
+      next_chunk_.store(0, std::memory_order_relaxed);
+      pending_ = static_cast<int>(width_);
+      ++epoch_;
+    }
+    cv_.notify_all();
+    work(chunks);  // calling thread participates
+    std::unique_lock lk(mu_);
+    done_cv_.wait(lk, [this] { return pending_ == 0; });
+    fn_ = nullptr;
+  }
+
+ private:
+  void worker_loop(unsigned /*id*/) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(Index, Index)>* fn = nullptr;
+      Index chunks = 0;
+      {
+        std::unique_lock lk(mu_);
+        cv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+        seen = epoch_;
+        if (stop_) return;
+        fn = fn_;
+        chunks = fn ? (end_ - begin_ + grain_ - 1) / grain_ : 0;
+      }
+      if (fn) work(chunks);
+    }
+  }
+
+  void work(Index chunks) {
+    for (;;) {
+      const Index c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) break;
+      const Index lo = begin_ + c * grain_;
+      const Index hi = std::min(end_, lo + grain_);
+      (*fn_)(lo, hi);
+    }
+    std::lock_guard lk(mu_);
+    if (--pending_ == 0) done_cv_.notify_all();
+  }
+
+  unsigned width_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_, done_cv_;
+  std::uint64_t epoch_ = 0;
+  bool stop_ = false;
+  int pending_ = 0;
+  Index begin_ = 0, end_ = 0, grain_ = 1;
+  std::atomic<Index> next_chunk_{0};
+  const std::function<void(Index, Index)>* fn_ = nullptr;
+};
+
+Pool* pool_instance(unsigned width) {
+  static std::unique_ptr<Pool> pool;
+  static std::mutex mu;
+  std::lock_guard lk(mu);
+  if (!pool || pool->width() != width) pool = std::make_unique<Pool>(width);
+  return pool.get();
+}
+
+}  // namespace
+
+void set_num_threads(unsigned n) { g_threads = n; }
+
+unsigned num_threads() { return resolved_threads(); }
+
+void for_range(Index begin, Index end,
+               const std::function<void(Index, Index)>& fn, Index grain) {
+  if (end <= begin) return;
+  const unsigned width = resolved_threads();
+  if (width <= 1 || end - begin <= grain) {
+    fn(begin, end);
+    return;
+  }
+  pool_instance(width)->run(begin, end, grain, fn);
+}
+
+}  // namespace hisim::parallel

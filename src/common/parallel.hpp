@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "common/types.hpp"
+
+namespace hisim {
+
+/// Shared-memory parallelism shim. The state-vector kernels call
+/// parallel_for over amplitude ranges; on a single-core host this runs
+/// sequentially with zero overhead, on larger machines it fans out over a
+/// lazily created thread pool (strong-scaling experiments in the paper use
+/// OpenMP; a pool keeps the library dependency-free and deterministic).
+namespace parallel {
+
+/// Set the number of worker threads used by parallel_for. 0 = hardware
+/// concurrency. Takes effect on the next parallel_for call.
+void set_num_threads(unsigned n);
+
+/// Current configured worker count (after defaulting).
+unsigned num_threads();
+
+/// Invoke fn(begin, end) over a partition of [begin, end) across workers.
+/// Ranges below `grain` run inline on the calling thread.
+void for_range(Index begin, Index end,
+               const std::function<void(Index, Index)>& fn,
+               Index grain = Index{1} << 12);
+
+}  // namespace parallel
+}  // namespace hisim

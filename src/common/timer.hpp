@@ -1,0 +1,46 @@
+#pragma once
+
+#include <chrono>
+
+namespace hisim {
+
+/// Monotonic wall-clock timer used by the benchmark harness and the
+/// per-phase accounting in RunReport.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+  double micros() const { return seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates time across disjoint intervals (e.g. total gather time over
+/// all parts of a run).
+class Stopwatch {
+ public:
+  void start() { timer_.reset(); running_ = true; }
+  void stop() {
+    if (running_) total_ += timer_.seconds();
+    running_ = false;
+  }
+  double seconds() const { return total_; }
+  void clear() { total_ = 0.0; running_ = false; }
+
+ private:
+  Timer timer_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace hisim

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <complex>
+#include <cstdint>
+
+/// Fundamental scalar and index types shared by every HiSVSIM module.
+namespace hisim {
+
+/// Complex amplitude type. The paper's accounting (16 bytes/amplitude)
+/// assumes double precision.
+using cplx = std::complex<double>;
+
+/// Index into a state vector (up to 2^63 amplitudes).
+using Index = std::uint64_t;
+
+/// Qubit label within a circuit (0-based).
+using Qubit = std::uint32_t;
+
+/// Bytes occupied by one amplitude.
+inline constexpr std::size_t kAmpBytes = sizeof(cplx);
+
+/// Number of amplitudes of an n-qubit register.
+constexpr Index dim(unsigned num_qubits) noexcept {
+  return Index{1} << num_qubits;
+}
+
+}  // namespace hisim

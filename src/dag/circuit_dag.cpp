@@ -1,0 +1,261 @@
+#include "dag/circuit_dag.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace hisim::dag {
+
+CircuitDag::CircuitDag(const Circuit& c) : circuit_(&c) {
+  const unsigned nq = c.num_qubits();
+  const std::size_t ng = c.num_gates();
+  nodes_ = 2ull * nq + ng;
+
+  // Build edge lists by tracing each qubit through the gate sequence.
+  std::vector<std::pair<NodeId, Edge>> fwd;  // (from, edge)
+  fwd.reserve(ng * 2 + nq);
+  std::vector<NodeId> last(nq);
+  for (Qubit q = 0; q < nq; ++q) last[q] = entry_node(q);
+  for (std::size_t i = 0; i < ng; ++i) {
+    const NodeId v = gate_node(i);
+    for (Qubit q : c.gate(i).qubits) {
+      fwd.emplace_back(last[q], Edge{v, q});
+      last[q] = v;
+    }
+  }
+  for (Qubit q = 0; q < nq; ++q)
+    fwd.emplace_back(last[q], Edge{exit_node(q), q});
+
+  // CSR for successors.
+  succ_off_.assign(nodes_ + 1, 0);
+  for (const auto& [from, e] : fwd) ++succ_off_[from + 1];
+  for (std::size_t i = 1; i <= nodes_; ++i) succ_off_[i] += succ_off_[i - 1];
+  succ_.resize(fwd.size());
+  {
+    std::vector<std::size_t> cursor(succ_off_.begin(), succ_off_.end() - 1);
+    for (const auto& [from, e] : fwd) succ_[cursor[from]++] = e;
+  }
+  // CSR for predecessors (edge.to holds the *source* in pred lists).
+  pred_off_.assign(nodes_ + 1, 0);
+  for (const auto& [from, e] : fwd) ++pred_off_[e.to + 1];
+  for (std::size_t i = 1; i <= nodes_; ++i) pred_off_[i] += pred_off_[i - 1];
+  pred_.resize(fwd.size());
+  {
+    std::vector<std::size_t> cursor(pred_off_.begin(), pred_off_.end() - 1);
+    for (const auto& [from, e] : fwd)
+      pred_[cursor[e.to]++] = Edge{from, e.qubit};
+  }
+}
+
+NodeKind CircuitDag::kind(NodeId v) const {
+  const unsigned nq = num_qubits();
+  if (v < nq) return NodeKind::Entry;
+  if (v < nq + num_gates()) return NodeKind::Gate;
+  HISIM_CHECK(v < nodes_);
+  return NodeKind::Exit;
+}
+
+std::size_t CircuitDag::gate_index(NodeId v) const {
+  HISIM_CHECK(is_gate(v));
+  return v - num_qubits();
+}
+
+Qubit CircuitDag::qubit_of(NodeId v) const {
+  const unsigned nq = num_qubits();
+  if (v < nq) return v;
+  HISIM_CHECK(kind(v) == NodeKind::Exit);
+  return static_cast<Qubit>(v - nq - num_gates());
+}
+
+std::vector<NodeId> CircuitDag::natural_order() const {
+  std::vector<NodeId> order(num_gates());
+  for (std::size_t i = 0; i < num_gates(); ++i) order[i] = gate_node(i);
+  return order;
+}
+
+std::vector<NodeId> CircuitDag::random_dfs_order(Rng& rng) const {
+  // Iterative DFS from entry nodes with shuffled adjacency; gate nodes in
+  // reverse postorder form a topological order.
+  std::vector<NodeId> post;
+  post.reserve(num_gates());
+  std::vector<std::uint8_t> state(nodes_, 0);  // 0 new, 1 open, 2 done
+  std::vector<NodeId> roots(num_qubits());
+  for (Qubit q = 0; q < num_qubits(); ++q) roots[q] = entry_node(q);
+  for (std::size_t i = roots.size(); i > 1; --i)
+    std::swap(roots[i - 1], roots[rng.below(i)]);
+
+  struct Frame {
+    NodeId v;
+    std::vector<NodeId> kids;
+    std::size_t next = 0;
+  };
+  std::vector<Frame> stack;
+  for (NodeId root : roots) {
+    if (state[root]) continue;
+    stack.push_back({root, {}, 0});
+    state[root] = 1;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.next == 0) {
+        for (const Edge& e : succs(f.v)) f.kids.push_back(e.to);
+        for (std::size_t i = f.kids.size(); i > 1; --i)
+          std::swap(f.kids[i - 1], f.kids[rng.below(i)]);
+      }
+      bool descended = false;
+      while (f.next < f.kids.size()) {
+        const NodeId w = f.kids[f.next++];
+        if (state[w] == 0) {
+          state[w] = 1;
+          stack.push_back({w, {}, 0});
+          descended = true;
+          break;
+        }
+      }
+      if (!descended && (stack.back().next >= stack.back().kids.size())) {
+        const NodeId v = stack.back().v;
+        state[v] = 2;
+        if (is_gate(v)) post.push_back(v);
+        stack.pop_back();
+      }
+    }
+  }
+  std::reverse(post.begin(), post.end());
+  return post;
+}
+
+std::vector<NodeId> CircuitDag::random_kahn_order(Rng& rng) const {
+  std::vector<unsigned> indeg(nodes_, 0);
+  for (NodeId v = 0; v < nodes_; ++v)
+    for (const Edge& e : succs(v)) ++indeg[e.to];
+  std::vector<NodeId> ready;
+  for (NodeId v = 0; v < nodes_; ++v)
+    if (indeg[v] == 0) ready.push_back(v);
+  std::vector<NodeId> order;
+  order.reserve(num_gates());
+  while (!ready.empty()) {
+    const std::size_t pick = rng.below(ready.size());
+    const NodeId v = ready[pick];
+    ready[pick] = ready.back();
+    ready.pop_back();
+    if (is_gate(v)) order.push_back(v);
+    for (const Edge& e : succs(v))
+      if (--indeg[e.to] == 0) ready.push_back(e.to);
+  }
+  HISIM_CHECK(order.size() == num_gates());
+  return order;
+}
+
+bool CircuitDag::is_topological_gate_order(std::span<const NodeId> order) const {
+  if (order.size() != num_gates()) return false;
+  std::vector<std::size_t> pos(nodes_, SIZE_MAX);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const NodeId v = order[i];
+    if (!is_gate(v) || pos[v] != SIZE_MAX) return false;
+    pos[v] = i;
+  }
+  for (const NodeId v : order)
+    for (const Edge& e : succs(v))
+      if (is_gate(e.to) && pos[e.to] <= pos[v]) return false;
+  return true;
+}
+
+std::string CircuitDag::to_dot(std::span<const int> part_of) const {
+  static const char* kPalette[] = {"lightgreen", "cyan",  "orange", "pink",
+                                   "gold",       "plum",  "khaki",  "salmon",
+                                   "lightblue",  "wheat"};
+  std::ostringstream os;
+  os << "digraph circuit {\n  rankdir=LR;\n";
+  for (NodeId v = 0; v < nodes_; ++v) {
+    os << "  n" << v << " [label=\"";
+    switch (kind(v)) {
+      case NodeKind::Entry: os << "q" << qubit_of(v); break;
+      case NodeKind::Exit: os << "exit q" << qubit_of(v); break;
+      case NodeKind::Gate: os << gate_name(gate_of(v).kind); break;
+    }
+    os << "\"";
+    if (is_gate(v) && !part_of.empty()) {
+      const int p = part_of[gate_index(v)];
+      os << ", style=filled, fillcolor=\"" << kPalette[p % 10] << "\"";
+    }
+    os << "];\n";
+  }
+  for (NodeId v = 0; v < nodes_; ++v)
+    for (const Edge& e : succs(v))
+      os << "  n" << v << " -> n" << e.to << " [label=\"q" << e.qubit
+         << "\"];\n";
+  os << "}\n";
+  return os.str();
+}
+
+bool PartGraph::is_acyclic() const {
+  try {
+    (void)topological_order();
+    return true;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+std::vector<int> PartGraph::topological_order() const {
+  std::vector<int> indeg(num_parts, 0);
+  for (int p = 0; p < num_parts; ++p)
+    for (int s : succs[p]) ++indeg[s];
+  std::vector<int> ready, order;
+  for (int p = 0; p < num_parts; ++p)
+    if (indeg[p] == 0) ready.push_back(p);
+  while (!ready.empty()) {
+    const int p = ready.back();
+    ready.pop_back();
+    order.push_back(p);
+    for (int s : succs[p])
+      if (--indeg[s] == 0) ready.push_back(s);
+  }
+  HISIM_CHECK_MSG(static_cast<int>(order.size()) == num_parts,
+                  "part graph has a cycle");
+  return order;
+}
+
+std::vector<std::vector<bool>> PartGraph::reachability() const {
+  std::vector<std::vector<bool>> reach(
+      num_parts, std::vector<bool>(num_parts, false));
+  const std::vector<int> order = topological_order();
+  // Process in reverse topological order: reach[v] = union of succ reaches.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const int v = *it;
+    for (int s : succs[v]) {
+      reach[v][s] = true;
+      for (int t = 0; t < num_parts; ++t)
+        if (reach[s][t]) reach[v][t] = true;
+    }
+  }
+  return reach;
+}
+
+PartGraph build_part_graph(const CircuitDag& dag, std::span<const int> part_of,
+                           int num_parts) {
+  HISIM_CHECK(part_of.size() == dag.num_gates());
+  PartGraph pg;
+  pg.num_parts = num_parts;
+  pg.succs.assign(num_parts, {});
+  pg.preds.assign(num_parts, {});
+  for (std::size_t i = 0; i < dag.num_gates(); ++i) {
+    const int p = part_of[i];
+    HISIM_CHECK_MSG(p >= 0 && p < num_parts, "gate " << i << " unassigned");
+    const NodeId v = dag.gate_node(i);
+    for (const Edge& e : dag.succs(v)) {
+      if (!dag.is_gate(e.to)) continue;
+      const int q = part_of[dag.gate_index(e.to)];
+      if (p != q) pg.succs[p].push_back(q);
+    }
+  }
+  for (int p = 0; p < num_parts; ++p) {
+    auto& s = pg.succs[p];
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+    for (int q : s) pg.preds[q].push_back(p);
+  }
+  return pg;
+}
+
+}  // namespace hisim::dag

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+
+namespace hisim::dag {
+
+using NodeId = std::uint32_t;
+
+enum class NodeKind { Entry, Gate, Exit };
+
+/// Labelled edge: `qubit` flows from `from` to `to`. Because a qubit feeds
+/// exactly one gate at a time, the in-edges of any node carry distinct
+/// qubit labels (the property the paper's working-set accounting uses).
+struct Edge {
+  NodeId to;
+  Qubit qubit;
+};
+
+/// DAG representation of a circuit per Sec. IV-A of the paper: one node per
+/// gate plus artificial entry/exit nodes per qubit; edges carry the qubit
+/// dependency between consecutive gates on that qubit.
+///
+/// Node id layout: [0, nq) entry nodes, [nq, nq+ngates) gate nodes,
+/// [nq+ngates, nq+ngates+nq) exit nodes.
+class CircuitDag {
+ public:
+  explicit CircuitDag(const Circuit& c);
+
+  const Circuit& circuit() const { return *circuit_; }
+  unsigned num_qubits() const { return circuit_->num_qubits(); }
+  std::size_t num_gates() const { return circuit_->num_gates(); }
+  std::size_t num_nodes() const { return nodes_; }
+
+  NodeId entry_node(Qubit q) const { return q; }
+  NodeId gate_node(std::size_t gate_idx) const {
+    return static_cast<NodeId>(num_qubits() + gate_idx);
+  }
+  NodeId exit_node(Qubit q) const {
+    return static_cast<NodeId>(num_qubits() + num_gates() + q);
+  }
+
+  NodeKind kind(NodeId v) const;
+  bool is_gate(NodeId v) const { return kind(v) == NodeKind::Gate; }
+  /// Gate index for a gate node.
+  std::size_t gate_index(NodeId v) const;
+  /// The gate a gate node represents.
+  const Gate& gate_of(NodeId v) const { return circuit_->gate(gate_index(v)); }
+  /// Qubit of an entry/exit node.
+  Qubit qubit_of(NodeId v) const;
+
+  std::span<const Edge> succs(NodeId v) const {
+    return {succ_.data() + succ_off_[v], succ_off_[v + 1] - succ_off_[v]};
+  }
+  std::span<const Edge> preds(NodeId v) const {
+    return {pred_.data() + pred_off_[v], pred_off_[v + 1] - pred_off_[v]};
+  }
+
+  /// Gate nodes in circuit order (the natural topological order).
+  std::vector<NodeId> natural_order() const;
+
+  /// A random DFS-based topological order of the *gate nodes*: reverse
+  /// postorder of a DFS from the entry nodes with shuffled adjacency.
+  std::vector<NodeId> random_dfs_order(Rng& rng) const;
+
+  /// Randomized Kahn order (uniform choice among ready nodes).
+  std::vector<NodeId> random_kahn_order(Rng& rng) const;
+
+  /// True iff `order` lists every gate node exactly once respecting all
+  /// gate-to-gate dependencies.
+  bool is_topological_gate_order(std::span<const NodeId> order) const;
+
+  /// Graphviz export; `part_of` (size num_gates, part id per gate index)
+  /// colors nodes by part when provided.
+  std::string to_dot(std::span<const int> part_of = {}) const;
+
+ private:
+  const Circuit* circuit_;
+  std::size_t nodes_;
+  // CSR adjacency over all nodes.
+  std::vector<std::size_t> succ_off_, pred_off_;
+  std::vector<Edge> succ_, pred_;
+};
+
+/// Quotient ("part") graph: one node per part, edges accumulated between
+/// parts. Built over gate nodes only.
+struct PartGraph {
+  int num_parts = 0;
+  std::vector<std::vector<int>> succs;  // deduplicated
+  std::vector<std::vector<int>> preds;
+
+  /// True iff the quotient graph has no cycle.
+  bool is_acyclic() const;
+  /// A topological order of parts; throws if cyclic.
+  std::vector<int> topological_order() const;
+  /// reach[i][j] == true iff part j is reachable from part i (i != j).
+  std::vector<std::vector<bool>> reachability() const;
+};
+
+/// Builds the part graph from a per-gate part assignment (-1 entries are
+/// not allowed). `num_parts` must exceed every id in `part_of`.
+PartGraph build_part_graph(const CircuitDag& dag, std::span<const int> part_of,
+                           int num_parts);
+
+}  // namespace hisim::dag

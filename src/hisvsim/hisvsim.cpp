@@ -1,0 +1,76 @@
+#include "hisvsim/hisvsim.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hisim {
+
+unsigned HiSvSim::effective_limit(const Circuit& c) const {
+  if (opt_.limit != 0) return std::min(opt_.limit, c.num_qubits());
+  if (opt_.process_qubits > 0) {
+    HISIM_CHECK(opt_.process_qubits < c.num_qubits());
+    return c.num_qubits() - opt_.process_qubits;
+  }
+  // LLC-sized default: 2^21 amplitudes = 32 MiB.
+  return std::min(21u, c.num_qubits());
+}
+
+partition::Partitioning HiSvSim::plan(const Circuit& c) const {
+  const dag::CircuitDag dag(c);
+  partition::PartitionOptions po;
+  po.strategy = opt_.strategy;
+  po.limit = effective_limit(c);
+  po.seed = opt_.seed;
+  return partition::make_partition(dag, po);
+}
+
+sv::StateVector HiSvSim::simulate(const Circuit& c, RunReport* report) const {
+  sv::StateVector state(c.num_qubits());
+  RunReport rep;
+  if (opt_.level2_limit == 0) {
+    const partition::Partitioning parts = plan(c);
+    rep.parts = parts.num_parts();
+    rep.partition_seconds = parts.partition_seconds;
+    rep.hier = sv::HierarchicalSimulator().run(c, parts, state);
+  } else {
+    const dag::CircuitDag dag(c);
+    partition::PartitionOptions po;
+    po.strategy = opt_.strategy;
+    po.limit = effective_limit(c);
+    po.seed = opt_.seed;
+    const partition::TwoLevelPartitioning two =
+        partition::partition_two_level(dag, po,
+                                       std::min(opt_.level2_limit, po.limit));
+    rep.parts = two.level1.num_parts();
+    rep.inner_parts = two.total_inner_parts();
+    rep.partition_seconds = two.level1.partition_seconds;
+    rep.hier = sv::HierarchicalSimulator().run(c, two, state);
+  }
+  if (report) *report = rep;
+  return state;
+}
+
+sv::StateVector HiSvSim::simulate_distributed(const Circuit& c,
+                                              RunReport* report) const {
+  HISIM_CHECK_MSG(opt_.process_qubits > 0,
+                  "simulate_distributed requires process_qubits > 0");
+  dist::DistState state(c.num_qubits(), opt_.process_qubits);
+  dist::DistributedHiSvSim::Options o;
+  o.process_qubits = opt_.process_qubits;
+  o.part.strategy = opt_.strategy;
+  o.part.limit = effective_limit(c);
+  o.part.seed = opt_.seed;
+  o.level2_limit = opt_.level2_limit;
+  o.net = opt_.net;
+  RunReport rep;
+  rep.distributed = true;
+  rep.dist = dist::DistributedHiSvSim().run(c, o, state);
+  rep.parts = rep.dist.parts;
+  rep.inner_parts = rep.dist.inner_parts;
+  rep.partition_seconds = rep.dist.partition_seconds;
+  if (report) *report = rep;
+  return state.to_state_vector();
+}
+
+}  // namespace hisim

@@ -1,0 +1,68 @@
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "dist/hisvsim_dist.hpp"
+#include "dist/iqs_baseline.hpp"
+#include "partition/multilevel.hpp"
+#include "partition/partition.hpp"
+#include "sv/hierarchical.hpp"
+#include "sv/simulator.hpp"
+#include "sv/state_vector.hpp"
+
+/// Public facade of the HiSVSIM library: one-call hierarchical simulation
+/// with strategy/limit/rank configuration and a consolidated report. The
+/// lower-level modules (partition::, sv::, dist::) remain available for
+/// fine-grained control; this header is the API a downstream user adopts.
+namespace hisim {
+
+struct RunOptions {
+  partition::Strategy strategy = partition::Strategy::DagP;
+  /// Working-set limit Lm. 0 = auto: local qubit count when distributed,
+  /// otherwise the LLC-sized qubit count (21 qubits ~ 32 MiB) capped at
+  /// the circuit width.
+  unsigned limit = 0;
+  /// Number of process ("rank") qubits; 2^p simulated ranks. 0 = single
+  /// node.
+  unsigned process_qubits = 0;
+  /// Second-level (cache) limit; nonzero enables multi-level simulation.
+  unsigned level2_limit = 0;
+  std::uint64_t seed = 0x5eed;
+  dist::NetworkModel net;
+};
+
+struct RunReport {
+  bool distributed = false;
+  std::size_t parts = 0;
+  std::size_t inner_parts = 0;
+  double partition_seconds = 0;
+  sv::HierarchicalStats hier;   // single-node path
+  dist::DistRunReport dist;     // distributed path
+
+  double total_seconds() const {
+    return distributed ? dist.total_seconds() : hier.total_seconds();
+  }
+};
+
+class HiSvSim {
+ public:
+  explicit HiSvSim(RunOptions opt = {}) : opt_(opt) {}
+
+  const RunOptions& options() const { return opt_; }
+
+  /// Builds the partitioning this configuration would use (single node).
+  partition::Partitioning plan(const Circuit& c) const;
+
+  /// Single-node hierarchical simulation from |0...0>.
+  sv::StateVector simulate(const Circuit& c, RunReport* report = nullptr) const;
+
+  /// Simulated-cluster run over 2^process_qubits ranks; the returned state
+  /// is gathered from the rank-local vectors.
+  sv::StateVector simulate_distributed(const Circuit& c,
+                                       RunReport* report = nullptr) const;
+
+ private:
+  unsigned effective_limit(const Circuit& c) const;
+  RunOptions opt_;
+};
+
+}  // namespace hisim

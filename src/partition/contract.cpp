@@ -1,0 +1,139 @@
+#include "partition/contract.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hisim::partition {
+namespace {
+
+bool is_subset(const std::vector<Qubit>& small, const std::vector<Qubit>& big) {
+  return std::includes(big.begin(), big.end(), small.begin(), small.end());
+}
+
+std::vector<Qubit> sorted_union(const std::vector<Qubit>& a,
+                                const std::vector<Qubit>& b) {
+  std::vector<Qubit> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+void dedup(std::vector<int>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+}  // namespace
+
+ContractedGraph build_contracted(const dag::CircuitDag& dag, bool contract) {
+  const std::size_t n = dag.num_gates();
+  ContractedGraph g;
+  g.members.resize(n);
+  g.qubits.resize(n);
+  g.succs.resize(n);
+  g.preds.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    g.members[i] = {i};
+    const Gate& gate = dag.circuit().gate(i);
+    g.qubits[i].assign(gate.qubits.begin(), gate.qubits.end());
+    std::sort(g.qubits[i].begin(), g.qubits[i].end());
+    for (const dag::Edge& e : dag.succs(dag.gate_node(i)))
+      if (dag.is_gate(e.to))
+        g.succs[i].push_back(static_cast<int>(dag.gate_index(e.to)));
+    dedup(g.succs[i]);
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    for (int s : g.succs[i]) g.preds[s].push_back(static_cast<int>(i));
+  for (auto& v : g.preds) dedup(v);
+
+  std::vector<bool> dead(n, false);
+
+  // Merge `loser` into `keeper`: keeper absorbs members, qubits, and all
+  // of loser's edges; self-edges are dropped.
+  auto merge = [&](int keeper, int loser) {
+    g.members[keeper].insert(g.members[keeper].end(),
+                             g.members[loser].begin(), g.members[loser].end());
+    std::sort(g.members[keeper].begin(), g.members[keeper].end());
+    g.qubits[keeper] = sorted_union(g.qubits[keeper], g.qubits[loser]);
+    for (int s : g.succs[loser]) {
+      if (s == keeper) continue;
+      g.succs[keeper].push_back(s);
+      for (int& p : g.preds[s])
+        if (p == loser) p = keeper;
+      dedup(g.preds[s]);
+    }
+    for (int p : g.preds[loser]) {
+      if (p == keeper) continue;
+      g.preds[keeper].push_back(p);
+      for (int& s : g.succs[p])
+        if (s == loser) s = keeper;
+      dedup(g.succs[p]);
+    }
+    // Remove the internal edge keeper<->loser.
+    std::erase(g.succs[keeper], loser);
+    std::erase(g.preds[keeper], loser);
+    dedup(g.succs[keeper]);
+    dedup(g.preds[keeper]);
+    g.succs[loser].clear();
+    g.preds[loser].clear();
+    dead[loser] = true;
+  };
+
+  if (contract) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t v = 0; v < n; ++v) {
+        if (dead[v]) continue;
+        // Rule 1: sole predecessor absorbs a qubit-subset successor.
+        if (g.preds[v].size() == 1) {
+          const int u = g.preds[v][0];
+          if (!dead[u] && is_subset(g.qubits[v], g.qubits[u])) {
+            merge(u, static_cast<int>(v));
+            changed = true;
+            continue;
+          }
+        }
+        // Rule 2: sole successor absorbs a qubit-subset predecessor.
+        if (g.succs[v].size() == 1) {
+          const int w = g.succs[v][0];
+          if (!dead[w] && is_subset(g.qubits[v], g.qubits[w])) {
+            merge(w, static_cast<int>(v));
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  // Compact.
+  std::vector<int> remap(n, -1);
+  ContractedGraph out;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dead[i]) continue;
+    remap[i] = static_cast<int>(out.size());
+    out.members.push_back(std::move(g.members[i]));
+    out.qubits.push_back(std::move(g.qubits[i]));
+  }
+  out.succs.resize(out.size());
+  out.preds.resize(out.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dead[i]) continue;
+    const int ni = remap[i];
+    for (int s : g.succs[i]) {
+      HISIM_CHECK(!dead[s]);
+      out.succs[ni].push_back(remap[s]);
+    }
+    for (int p : g.preds[i]) {
+      HISIM_CHECK(!dead[p]);
+      out.preds[ni].push_back(remap[p]);
+    }
+    dedup(out.succs[ni]);
+    dedup(out.preds[ni]);
+  }
+  return out;
+}
+
+}  // namespace hisim::partition

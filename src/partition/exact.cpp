@@ -1,0 +1,178 @@
+#include "partition/exact.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <set>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "partition/contract.hpp"
+
+namespace hisim::partition {
+namespace {
+
+using Mask = std::uint64_t;
+
+struct Node {
+  std::vector<std::size_t> gates;  // original gate indices
+  Mask qubits = 0;
+  Mask preds = 0;  // node-index mask
+};
+
+/// Bitmask view of the shared lossless contraction.
+std::vector<Node> build_nodes(const dag::CircuitDag& dag) {
+  const ContractedGraph g = build_contracted(dag, /*contract=*/true);
+  std::vector<Node> nodes(g.size());
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    nodes[i].gates = g.members[i];
+    for (Qubit q : g.qubits[i]) nodes[i].qubits |= Mask{1} << q;
+    for (int p : g.preds[i]) nodes[i].preds |= Mask{1} << p;
+  }
+  return nodes;
+}
+
+struct Searcher {
+  const std::vector<Node>& nodes;
+  unsigned limit;
+  std::size_t budget;
+  std::size_t explored = 0;
+  bool truncated = false;
+
+  std::size_t best_parts;
+  std::vector<int> best_assign;   // per node
+  std::vector<int> cur_assign;
+
+  // Dominance memo: mask -> list of (parts_including_open, open_qubits).
+  std::unordered_map<Mask, std::vector<std::pair<unsigned, Mask>>> memo;
+
+  explicit Searcher(const std::vector<Node>& ns, unsigned lim,
+                    std::size_t bud, std::size_t upper)
+      : nodes(ns), limit(lim), budget(bud), best_parts(upper) {
+    cur_assign.assign(nodes.size(), -1);
+  }
+
+  static unsigned popcnt(Mask m) { return static_cast<unsigned>(std::popcount(m)); }
+
+  bool dominated(Mask done, unsigned parts, Mask open) {
+    auto& entries = memo[done];
+    for (const auto& [p, q] : entries)
+      if (p <= parts && (q & ~open) == 0) return true;
+    // Record; drop entries this one dominates.
+    std::erase_if(entries, [&](const auto& e) {
+      return parts <= e.first && (open & ~e.second) == 0;
+    });
+    entries.emplace_back(parts, open);
+    return false;
+  }
+
+  /// parts = parts started so far (open part counted); open = qubits of the
+  /// open part (0 if none yet).
+  void dfs(Mask done, unsigned parts, Mask open) {
+    if (++explored > budget) {
+      truncated = true;
+      return;
+    }
+    const Mask all = (nodes.size() == 64)
+                         ? ~Mask{0}
+                         : ((Mask{1} << nodes.size()) - 1);
+    if (done == all) {
+      if (parts < best_parts) {
+        best_parts = parts;
+        best_assign = cur_assign;
+      }
+      return;
+    }
+    if (parts >= best_parts) return;  // cannot improve (>= because more to come)
+    if (dominated(done, parts, open)) return;
+
+    for (std::size_t v = 0; v < nodes.size(); ++v) {
+      const Mask vb = Mask{1} << v;
+      if ((done & vb) || (nodes[v].preds & ~done)) continue;
+      if (truncated) return;
+      // Option 1: extend the open part.
+      const Mask merged = open | nodes[v].qubits;
+      if (popcnt(merged) <= limit) {
+        cur_assign[v] = static_cast<int>(parts == 0 ? 0 : parts - 1);
+        dfs(done | vb, parts == 0 ? 1 : parts, parts == 0 ? nodes[v].qubits
+                                                          : merged);
+        cur_assign[v] = -1;
+      }
+      // Option 2: close and start a new part with v.
+      if (open != 0 && parts + 1 < best_parts &&
+          popcnt(nodes[v].qubits) <= limit) {
+        cur_assign[v] = static_cast<int>(parts);
+        dfs(done | vb, parts + 1, nodes[v].qubits);
+        cur_assign[v] = -1;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+ExactResult partition_exact(const dag::CircuitDag& dag, unsigned limit,
+                            std::size_t state_budget) {
+  HISIM_CHECK_MSG(dag.num_qubits() <= 64, "exact solver supports <= 64 qubits");
+  for (const Gate& g : dag.circuit().gates())
+    HISIM_CHECK_MSG(g.arity() <= limit, "gate arity exceeds limit");
+
+  ExactResult res;
+  if (dag.num_gates() == 0) {
+    res.proven_optimal = true;
+    res.partitioning.limit = limit;
+    return res;
+  }
+
+  const std::vector<Node> nodes = build_nodes(dag);
+  HISIM_CHECK_MSG(nodes.size() <= 64,
+                  "exact solver supports <= 64 contracted nodes (got "
+                      << nodes.size() << ")");
+
+  // Upper bound from the dagP heuristic.
+  PartitionOptions opt;
+  opt.limit = limit;
+  Partitioning heur = partition_dagp(dag, opt);
+
+  Searcher s(nodes, limit, state_budget, heur.num_parts() + 1);
+  s.dfs(0, 0, 0);
+  res.states_explored = s.explored;
+  res.proven_optimal = !s.truncated;
+
+  if (s.best_assign.empty()) {
+    // Heuristic already optimal w.r.t. searched space (or budget hit before
+    // any completion) — fall back to it.
+    res.partitioning = std::move(heur);
+    res.proven_optimal =
+        res.proven_optimal && res.partitioning.num_parts() <= s.best_parts;
+    return res;
+  }
+
+  // Materialize the best assignment.
+  Partitioning p;
+  p.limit = limit;
+  p.part_of.assign(dag.num_gates(), -1);
+  const int k = 1 + *std::max_element(s.best_assign.begin(),
+                                      s.best_assign.end());
+  p.parts.resize(k);
+  for (std::size_t v = 0; v < nodes.size(); ++v) {
+    const int pid = s.best_assign[v];
+    auto& part = p.parts[pid];
+    part.gates.insert(part.gates.end(), nodes[v].gates.begin(),
+                      nodes[v].gates.end());
+  }
+  for (int pi = 0; pi < k; ++pi) {
+    auto& part = p.parts[pi];
+    std::sort(part.gates.begin(), part.gates.end());
+    std::set<Qubit> qs;
+    for (std::size_t gi : part.gates) {
+      const Gate& g = dag.circuit().gate(gi);
+      qs.insert(g.qubits.begin(), g.qubits.end());
+    }
+    part.qubits.assign(qs.begin(), qs.end());
+    for (std::size_t gi : part.gates) p.part_of[gi] = pi;
+  }
+  res.partitioning = std::move(p);
+  return res;
+}
+
+}  // namespace hisim::partition

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "partition/partition.hpp"
+
+namespace hisim::partition {
+
+/// Result of the exact minimum-part-count search.
+struct ExactResult {
+  /// True when the search space was exhausted within the budget, so
+  /// `partitioning` is a provably optimal acyclic partitioning.
+  bool proven_optimal = false;
+  Partitioning partitioning;
+  std::size_t states_explored = 0;
+};
+
+/// Exact solver for the paper's modified acyclic-partitioning problem
+/// (minimize part count subject to working set <= limit), replacing the
+/// authors' ILP formulation. Works because every acyclic partition is
+/// segment-convex in some topological order, so branch-and-bound over
+/// (executed-node set, open-part qubit set) states with dominance pruning
+/// explores all candidate optima.
+///
+/// Requires num_qubits <= 64 and (after lossless chain contraction) at
+/// most 64 DAG nodes; throws otherwise. `state_budget` caps the search —
+/// when exhausted the best partitioning found so far is returned with
+/// proven_optimal == false.
+ExactResult partition_exact(const dag::CircuitDag& dag, unsigned limit,
+                            std::size_t state_budget = 1u << 22);
+
+}  // namespace hisim::partition

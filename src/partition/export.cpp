@@ -1,0 +1,66 @@
+#include "partition/export.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "qasm/writer.hpp"
+
+namespace hisim::partition {
+
+std::vector<ExportedPart> export_parts(const Circuit& c,
+                                       const Partitioning& parts) {
+  std::vector<ExportedPart> out;
+  out.reserve(parts.num_parts());
+  for (std::size_t pi = 0; pi < parts.num_parts(); ++pi) {
+    const Part& part = parts.parts[pi];
+    ExportedPart ep;
+    ep.qubit_map = part.qubits;
+    // slot_of: original qubit -> local slot.
+    std::vector<Qubit> slot_of(c.num_qubits(), 0);
+    for (std::size_t j = 0; j < part.qubits.size(); ++j)
+      slot_of[part.qubits[j]] = static_cast<Qubit>(j);
+    ep.circuit = Circuit(static_cast<unsigned>(part.qubits.size()),
+                         c.name() + "_p" + std::to_string(pi));
+    for (std::size_t gi : part.gates) {
+      Gate g = c.gate(gi);
+      for (Qubit& q : g.qubits) q = slot_of[q];
+      ep.circuit.add(std::move(g));
+    }
+    std::ostringstream hdr;
+    hdr << "// " << c.name() << " part " << pi << " of " << parts.num_parts()
+        << " (limit " << parts.limit << ")\n";
+    hdr << "// slot -> original qubit:";
+    for (std::size_t j = 0; j < ep.qubit_map.size(); ++j)
+      hdr << " q[" << j << "]=Q" << ep.qubit_map[j];
+    hdr << "\n";
+    ep.qasm = hdr.str() + qasm::write(ep.circuit);
+    out.push_back(std::move(ep));
+  }
+  return out;
+}
+
+std::string write_part_files(const Circuit& c, const Partitioning& parts,
+                             const std::string& prefix) {
+  const auto exported = export_parts(c, parts);
+  const std::string manifest_path = prefix + "_manifest.txt";
+  std::ofstream manifest(manifest_path);
+  HISIM_CHECK_MSG(manifest.good(), "cannot write " << manifest_path);
+  manifest << "# circuit: " << c.name() << " (" << c.num_qubits()
+           << " qubits, " << c.num_gates() << " gates), limit "
+           << parts.limit << ", parts " << parts.num_parts() << "\n";
+  for (std::size_t pi = 0; pi < exported.size(); ++pi) {
+    const std::string file = prefix + "_p" + std::to_string(pi) + ".qasm";
+    std::ofstream out(file);
+    HISIM_CHECK_MSG(out.good(), "cannot write " << file);
+    out << exported[pi].qasm;
+    manifest << file << " qubits=" << exported[pi].circuit.num_qubits()
+             << " gates=" << exported[pi].circuit.num_gates() << " map=";
+    for (std::size_t j = 0; j < exported[pi].qubit_map.size(); ++j)
+      manifest << (j ? "," : "") << exported[pi].qubit_map[j];
+    manifest << "\n";
+  }
+  return manifest_path;
+}
+
+}  // namespace hisim::partition

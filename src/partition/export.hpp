@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "partition/partition.hpp"
+
+namespace hisim::partition {
+
+/// One exported part: the sub-circuit remapped onto a compact qubit
+/// register (local slot j = part.qubits[j]), ready to hand to an external
+/// simulator. This realizes the paper's Sec. III-D/VI claim that the
+/// partitioning + redistribution layer is "a general interface for other
+/// simulators": the GPU-hybrid experiment fed exactly these remapped part
+/// files to HyQuas.
+struct ExportedPart {
+  /// Remapped sub-circuit on working_set() qubits.
+  Circuit circuit;
+  /// qubit_map[j] = original circuit qubit held by local slot j.
+  std::vector<Qubit> qubit_map;
+  /// OpenQASM 2.0 text of `circuit`, with a comment header recording the
+  /// part id and the slot -> original-qubit mapping.
+  std::string qasm;
+};
+
+/// Exports every part of `parts` against `c` (which must be the circuit
+/// the partitioning was computed for).
+std::vector<ExportedPart> export_parts(const Circuit& c,
+                                       const Partitioning& parts);
+
+/// Writes the exported parts as <prefix>_p<k>.qasm files plus a
+/// <prefix>_manifest.txt listing (file, qubits, gates, slot map).
+/// Returns the manifest path.
+std::string write_part_files(const Circuit& c, const Partitioning& parts,
+                             const std::string& prefix);
+
+}  // namespace hisim::partition

@@ -1,0 +1,37 @@
+#include "partition/multilevel.hpp"
+
+#include "common/error.hpp"
+
+namespace hisim::partition {
+
+std::size_t TwoLevelPartitioning::total_inner_parts() const {
+  std::size_t n = 0;
+  for (const auto& p : level2) n += p.num_parts();
+  return n;
+}
+
+Circuit part_subcircuit(const Circuit& c, const Part& part) {
+  Circuit sub(c.num_qubits(), c.name() + "_part");
+  for (std::size_t gi : part.gates) sub.add(c.gate(gi));
+  return sub;
+}
+
+TwoLevelPartitioning partition_two_level(const dag::CircuitDag& dag,
+                                         const PartitionOptions& opt,
+                                         unsigned level2_limit) {
+  HISIM_CHECK_MSG(level2_limit <= opt.limit,
+                  "second-level limit must not exceed the first-level limit");
+  TwoLevelPartitioning out;
+  out.level1 = make_partition(dag, opt);
+  out.level2.reserve(out.level1.num_parts());
+  for (const Part& part : out.level1.parts) {
+    const Circuit sub = part_subcircuit(dag.circuit(), part);
+    const dag::CircuitDag sub_dag(sub);
+    PartitionOptions o2 = opt;
+    o2.limit = level2_limit;
+    out.level2.push_back(make_partition(sub_dag, o2));
+  }
+  return out;
+}
+
+}  // namespace hisim::partition

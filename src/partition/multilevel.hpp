@@ -1,0 +1,32 @@
+#pragma once
+
+#include "partition/partition.hpp"
+
+namespace hisim::partition {
+
+/// Two-level partitioning (Sec. IV "Multi-level partitioning"): the first
+/// level bounds each part by the node-local state-vector size (Lm = local
+/// qubit count in the distributed setting), the second level re-partitions
+/// each first-level part with a smaller (LLC-sized) limit for cache
+/// locality.
+struct TwoLevelPartitioning {
+  Partitioning level1;
+  /// level2[i] partitions the sub-circuit formed by level1.parts[i].gates;
+  /// its gate indices are *local* (position j refers to
+  /// level1.parts[i].gates[j]).
+  std::vector<Partitioning> level2;
+
+  std::size_t total_inner_parts() const;
+};
+
+/// Runs the first-level partitioner per `opt`, then partitions each part's
+/// induced sub-circuit with `level2_limit` using the same strategy.
+TwoLevelPartitioning partition_two_level(const dag::CircuitDag& dag,
+                                         const PartitionOptions& opt,
+                                         unsigned level2_limit);
+
+/// Builds the sub-circuit induced by one part (gates in execution order,
+/// original qubit labels, original qubit count).
+Circuit part_subcircuit(const Circuit& c, const Part& part);
+
+}  // namespace hisim::partition

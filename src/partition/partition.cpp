@@ -1,0 +1,161 @@
+#include "partition/partition.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace hisim::partition {
+
+unsigned Partitioning::max_working_set() const {
+  unsigned m = 0;
+  for (const Part& p : parts) m = std::max(m, p.working_set());
+  return m;
+}
+
+std::string Partitioning::summary() const {
+  std::ostringstream os;
+  os << parts.size() << " parts (limit " << limit << "):";
+  for (const Part& p : parts)
+    os << " [" << p.gates.size() << "g/" << p.qubits.size() << "q]";
+  return os.str();
+}
+
+std::string strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::Nat: return "Nat";
+    case Strategy::Dfs: return "DFS";
+    case Strategy::DagP: return "dagP";
+  }
+  return "?";
+}
+
+Partitioning make_partition(const dag::CircuitDag& dag,
+                            const PartitionOptions& opt) {
+  for (const Gate& g : dag.circuit().gates())
+    HISIM_CHECK_MSG(g.arity() <= opt.limit,
+                    "gate " << g.to_string() << " has arity " << g.arity()
+                            << " > limit " << opt.limit);
+  Timer t;
+  Partitioning p;
+  switch (opt.strategy) {
+    case Strategy::Nat:
+      p = partition_nat(dag, opt.limit);
+      break;
+    case Strategy::Dfs:
+      p = partition_dfs(dag, opt.limit, opt.dfs_trials, opt.seed);
+      break;
+    case Strategy::DagP:
+      p = partition_dagp(dag, opt);
+      break;
+  }
+  p.partition_seconds = t.seconds();
+  return p;
+}
+
+Partitioning segment_order(const dag::CircuitDag& dag,
+                           std::span<const dag::NodeId> order,
+                           unsigned limit) {
+  HISIM_CHECK(dag.is_topological_gate_order(order));
+  Partitioning out;
+  out.limit = limit;
+  out.part_of.assign(dag.num_gates(), -1);
+  Part cur;
+  std::set<Qubit> cur_qubits;
+  auto flush = [&] {
+    if (cur.gates.empty()) return;
+    cur.qubits.assign(cur_qubits.begin(), cur_qubits.end());
+    std::sort(cur.gates.begin(), cur.gates.end());
+    out.parts.push_back(std::move(cur));
+    cur = Part{};
+    cur_qubits.clear();
+  };
+  for (const dag::NodeId v : order) {
+    const Gate& g = dag.gate_of(v);
+    std::set<Qubit> merged = cur_qubits;
+    merged.insert(g.qubits.begin(), g.qubits.end());
+    if (merged.size() > limit) {
+      flush();
+      merged.clear();
+      merged.insert(g.qubits.begin(), g.qubits.end());
+      HISIM_CHECK_MSG(merged.size() <= limit,
+                      "gate arity exceeds limit " << limit);
+    }
+    cur_qubits = std::move(merged);
+    cur.gates.push_back(dag.gate_index(v));
+  }
+  flush();
+  for (std::size_t pi = 0; pi < out.parts.size(); ++pi)
+    for (std::size_t gi : out.parts[pi].gates)
+      out.part_of[gi] = static_cast<int>(pi);
+  return out;
+}
+
+Partitioning partition_nat(const dag::CircuitDag& dag, unsigned limit) {
+  const auto order = dag.natural_order();
+  return segment_order(dag, order, limit);
+}
+
+Partitioning partition_dfs(const dag::CircuitDag& dag, unsigned limit,
+                           unsigned trials, std::uint64_t seed) {
+  HISIM_CHECK(trials >= 1);
+  Rng rng(seed);
+  Partitioning best;
+  for (unsigned t = 0; t < trials; ++t) {
+    const auto order = dag.random_dfs_order(rng);
+    Partitioning cand = segment_order(dag, order, limit);
+    if (best.parts.empty() || cand.num_parts() < best.num_parts())
+      best = std::move(cand);
+  }
+  return best;
+}
+
+void validate(const dag::CircuitDag& dag, const Partitioning& p) {
+  HISIM_CHECK_MSG(!p.parts.empty() || dag.num_gates() == 0,
+                  "empty partitioning of nonempty circuit");
+  // Disjoint cover.
+  std::vector<int> seen(dag.num_gates(), -1);
+  for (std::size_t pi = 0; pi < p.parts.size(); ++pi) {
+    const Part& part = p.parts[pi];
+    HISIM_CHECK_MSG(!part.gates.empty(), "part " << pi << " is empty");
+    std::set<Qubit> qs;
+    for (std::size_t gi : part.gates) {
+      HISIM_CHECK_MSG(gi < dag.num_gates(), "bad gate index " << gi);
+      HISIM_CHECK_MSG(seen[gi] == -1, "gate " << gi << " in two parts");
+      seen[gi] = static_cast<int>(pi);
+      const Gate& g = dag.circuit().gate(gi);
+      qs.insert(g.qubits.begin(), g.qubits.end());
+    }
+    HISIM_CHECK_MSG(qs.size() <= p.limit,
+                    "part " << pi << " working set " << qs.size()
+                            << " exceeds limit " << p.limit);
+    HISIM_CHECK_MSG(std::vector<Qubit>(qs.begin(), qs.end()) == part.qubits,
+                    "part " << pi << " qubit list mismatch");
+    HISIM_CHECK_MSG(std::is_sorted(part.gates.begin(), part.gates.end()),
+                    "part " << pi << " gates not in execution order");
+  }
+  for (std::size_t gi = 0; gi < dag.num_gates(); ++gi)
+    HISIM_CHECK_MSG(seen[gi] >= 0, "gate " << gi << " unassigned");
+  HISIM_CHECK_MSG(std::equal(seen.begin(), seen.end(), p.part_of.begin()),
+                  "part_of[] inconsistent with parts[]");
+
+  // Acyclic + topologically ordered part list: every cross-part dependency
+  // must point from a lower part id to a higher one.
+  for (std::size_t gi = 0; gi < dag.num_gates(); ++gi) {
+    const dag::NodeId v = dag.gate_node(gi);
+    for (const dag::Edge& e : dag.succs(v)) {
+      if (!dag.is_gate(e.to)) continue;
+      const std::size_t gj = dag.gate_index(e.to);
+      HISIM_CHECK_MSG(seen[gi] <= seen[gj],
+                      "dependency gate " << gi << " -> " << gj
+                                         << " violates part order");
+    }
+  }
+  const dag::PartGraph pg =
+      dag::build_part_graph(dag, p.part_of, static_cast<int>(p.num_parts()));
+  HISIM_CHECK_MSG(pg.is_acyclic(), "part graph has a cycle");
+}
+
+}  // namespace hisim::partition

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dag/circuit_dag.hpp"
+
+namespace hisim::partition {
+
+/// One part (sub-circuit) of an acyclic partitioning.
+struct Part {
+  /// Gate indices of the original circuit, in execution order (ascending
+  /// gate index — a valid topological order within the part).
+  std::vector<std::size_t> gates;
+  /// Sorted distinct qubits the part's gates touch: the working set.
+  std::vector<Qubit> qubits;
+
+  unsigned working_set() const { return static_cast<unsigned>(qubits.size()); }
+};
+
+/// An acyclic partitioning of a circuit DAG: parts are listed in a
+/// topological order of the part graph, so executing them in sequence with
+/// the Gather-Execute-Scatter model preserves all dependencies.
+struct Partitioning {
+  unsigned limit = 0;                // the working-set limit Lm used
+  std::vector<Part> parts;
+  std::vector<int> part_of;          // part id per gate index
+  double partition_seconds = 0.0;    // time spent partitioning
+
+  std::size_t num_parts() const { return parts.size(); }
+  /// Largest working set across parts.
+  unsigned max_working_set() const;
+  std::string summary() const;
+};
+
+/// The three strategies of Sec. IV-B.
+enum class Strategy { Nat, Dfs, DagP };
+
+std::string strategy_name(Strategy s);
+
+struct PartitionOptions {
+  unsigned limit = 10;          // Lm: max qubits per part
+  Strategy strategy = Strategy::DagP;
+  std::uint64_t seed = 0x5eed;
+  // DFS: number of random topological orders tried.
+  unsigned dfs_trials = 16;
+  // dagP knobs.
+  double imbalance = 1.5;       // bisection balance ratio (paper's epsilon)
+  unsigned bisect_candidates = 6;  // candidate topological orders/bisection
+  unsigned refine_passes = 4;      // FM refinement passes per bisection
+  bool coarsen = true;             // chain-contraction coarsening
+  bool merge = true;               // final part-merge phase
+};
+
+/// Dispatches on opt.strategy. Throws if any gate's arity exceeds the
+/// limit (no valid partition exists then).
+Partitioning make_partition(const dag::CircuitDag& dag,
+                            const PartitionOptions& opt);
+
+/// Natural topological order cutoff (Sec. IV-B.1).
+Partitioning partition_nat(const dag::CircuitDag& dag, unsigned limit);
+
+/// Best-of-N random DFS topological order cutoff (Sec. IV-B.2).
+Partitioning partition_dfs(const dag::CircuitDag& dag, unsigned limit,
+                           unsigned trials, std::uint64_t seed);
+
+/// Multilevel acyclic-partitioning-based heuristic (Sec. IV-B.3).
+Partitioning partition_dagp(const dag::CircuitDag& dag,
+                            const PartitionOptions& opt);
+
+/// Greedily segments a topological gate order into minimum parts with
+/// working set <= limit (optimal for that fixed order). Shared by
+/// Nat/DFS and the exact solver's upper bound.
+Partitioning segment_order(const dag::CircuitDag& dag,
+                           std::span<const dag::NodeId> order, unsigned limit);
+
+/// Validates the full contract: parts disjointly cover all gates, each
+/// working set is within `limit`, the part graph is acyclic, the part list
+/// is in part-graph topological order, and gates within parts are in a
+/// valid execution order. Throws hisim::Error on violation.
+void validate(const dag::CircuitDag& dag, const Partitioning& p);
+
+}  // namespace hisim::partition

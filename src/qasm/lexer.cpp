@@ -1,0 +1,128 @@
+#include "qasm/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace hisim::qasm {
+namespace {
+
+const std::unordered_set<std::string> kKeywords = {
+    "OPENQASM", "include", "qreg", "creg",    "gate",
+    "measure",  "barrier", "reset", "if",     "opaque",
+};
+
+[[noreturn]] void fail(int line, int col, const std::string& msg) {
+  throw Error("QASM lex error at " + std::to_string(line) + ":" +
+              std::to_string(col) + ": " + msg);
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& src) {
+  std::vector<Token> out;
+  int line = 1, col = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  auto push = [&](TokKind k, std::string text = "", double val = 0.0) {
+    out.push_back(Token{k, std::move(text), val, line, col});
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') { ++line; col = 1; ++i; continue; }
+    if (std::isspace(static_cast<unsigned char>(c))) { ++col; ++i; continue; }
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(src[j])) ||
+                       src[j] == '_'))
+        ++j;
+      std::string word = src.substr(i, j - i);
+      push(kKeywords.count(word) ? TokKind::Keyword : TokKind::Identifier,
+           word);
+      col += static_cast<int>(j - i);
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      std::size_t j = i;
+      bool is_real = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(src[j]))) ++j;
+      if (j < n && src[j] == '.') {
+        is_real = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(src[j]))) ++j;
+      }
+      if (j < n && (src[j] == 'e' || src[j] == 'E')) {
+        std::size_t k = j + 1;
+        if (k < n && (src[k] == '+' || src[k] == '-')) ++k;
+        if (k < n && std::isdigit(static_cast<unsigned char>(src[k]))) {
+          is_real = true;
+          j = k;
+          while (j < n && std::isdigit(static_cast<unsigned char>(src[j]))) ++j;
+        }
+      }
+      const std::string text = src.substr(i, j - i);
+      push(is_real ? TokKind::Real : TokKind::Integer, text,
+           std::strtod(text.c_str(), nullptr));
+      col += static_cast<int>(j - i);
+      i = j;
+      continue;
+    }
+    if (c == '"') {
+      std::size_t j = i + 1;
+      while (j < n && src[j] != '"') ++j;
+      if (j >= n) fail(line, col, "unterminated string");
+      push(TokKind::String, src.substr(i + 1, j - i - 1));
+      col += static_cast<int>(j - i + 1);
+      i = j + 1;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && src[i + 1] == '>') {
+      push(TokKind::Arrow, "->");
+      i += 2; col += 2;
+      continue;
+    }
+    TokKind k;
+    switch (c) {
+      case '(': k = TokKind::LParen; break;
+      case ')': k = TokKind::RParen; break;
+      case '{': k = TokKind::LBrace; break;
+      case '}': k = TokKind::RBrace; break;
+      case '[': k = TokKind::LBracket; break;
+      case ']': k = TokKind::RBracket; break;
+      case ',': k = TokKind::Comma; break;
+      case ';': k = TokKind::Semicolon; break;
+      case '+': k = TokKind::Plus; break;
+      case '-': k = TokKind::Minus; break;
+      case '*': k = TokKind::Star; break;
+      case '/': k = TokKind::Slash; break;
+      case '^': k = TokKind::Caret; break;
+      case '=':
+        // only appears as '==' in `if (c==0)`; treat the pair as one token
+        if (i + 1 < n && src[i + 1] == '=') {
+          push(TokKind::Identifier, "==");
+          i += 2; col += 2;
+          continue;
+        }
+        fail(line, col, "unexpected '='");
+      default:
+        fail(line, col, std::string("unexpected character '") + c + "'");
+    }
+    push(k, std::string(1, c));
+    ++i; ++col;
+  }
+  push(TokKind::End);
+  return out;
+}
+
+}  // namespace hisim::qasm

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hisim::qasm {
+
+enum class TokKind {
+  Identifier,   // h, cx, q, mygate, pi, sin ...
+  Real,         // 3.14, 1e-3
+  Integer,      // 42
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Comma, Semicolon, Arrow,          // ->
+  Plus, Minus, Star, Slash, Caret,
+  Keyword,      // OPENQASM, include, qreg, creg, gate, measure, barrier,
+                // reset, if, opaque
+  String,       // "qelib1.inc"
+  End,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;   // identifier/keyword/string spelling
+  double value = 0.0; // numeric literals
+  int line = 0;
+  int col = 0;
+};
+
+/// Tokenizes OpenQASM 2.0 source. Comments (`// ...`) are skipped.
+/// Throws hisim::Error with line/column info on unknown characters.
+std::vector<Token> tokenize(const std::string& source);
+
+}  // namespace hisim::qasm

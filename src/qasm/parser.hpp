@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace hisim::qasm {
+
+/// Parse statistics beyond the gate list (measurements and barriers are
+/// accepted and counted but not represented in the Circuit, since the
+/// simulator computes full state vectors).
+struct ParseInfo {
+  std::size_t num_measure = 0;
+  std::size_t num_barrier = 0;
+};
+
+/// Parses an OpenQASM 2.0 program into a Circuit. Supports: OPENQASM
+/// header, include (qelib1.inc treated as built in), qreg/creg, the
+/// qelib1 gate vocabulary plus U/CX primitives, user `gate` definitions
+/// (recursively expanded at application), register broadcast, measure,
+/// barrier, and constant expressions with pi and the usual operators and
+/// functions. Multiple qregs are flattened in declaration order.
+Circuit parse(const std::string& source, ParseInfo* info = nullptr);
+
+/// Parses the file at `path` (throws hisim::Error if unreadable).
+Circuit parse_file(const std::string& path, ParseInfo* info = nullptr);
+
+}  // namespace hisim::qasm

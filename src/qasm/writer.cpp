@@ -1,0 +1,77 @@
+#include "qasm/writer.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "circuit/decompose.hpp"
+#include "common/error.hpp"
+
+namespace hisim::qasm {
+namespace {
+
+bool qelib_expressible(const Gate& g) {
+  switch (g.kind) {
+    case GateKind::RZZ: case GateKind::RXX: case GateKind::MCX:
+    case GateKind::Unitary:
+      return false;
+    default:
+      return true;
+  }
+}
+
+void write_gate(std::ostringstream& os, const Gate& g) {
+  os << gate_name(g.kind);
+  if (!g.params.empty()) {
+    os << "(";
+    for (std::size_t i = 0; i < g.params.size(); ++i) {
+      if (i) os << ",";
+      os << std::setprecision(17) << g.params[i];
+    }
+    os << ")";
+  }
+  os << " ";
+  for (std::size_t i = 0; i < g.qubits.size(); ++i) {
+    if (i) os << ",";
+    os << "q[" << g.qubits[i] << "]";
+  }
+  os << ";\n";
+}
+
+}  // namespace
+
+std::string write(const Circuit& c) {
+  std::ostringstream os;
+  os << "OPENQASM 2.0;\n";
+  os << "include \"qelib1.inc\";\n";
+  os << "qreg q[" << c.num_qubits() << "];\n";
+  for (const Gate& g : c.gates()) {
+    if (qelib_expressible(g)) {
+      write_gate(os, g);
+      continue;
+    }
+    switch (g.kind) {
+      case GateKind::RZZ:
+        write_gate(os, Gate::cx(g.qubits[0], g.qubits[1]));
+        write_gate(os, Gate::rz(g.qubits[1], g.params[0]));
+        write_gate(os, Gate::cx(g.qubits[0], g.qubits[1]));
+        break;
+      case GateKind::RXX:
+        write_gate(os, Gate::h(g.qubits[0]));
+        write_gate(os, Gate::h(g.qubits[1]));
+        write_gate(os, Gate::cx(g.qubits[0], g.qubits[1]));
+        write_gate(os, Gate::rz(g.qubits[1], g.params[0]));
+        write_gate(os, Gate::cx(g.qubits[0], g.qubits[1]));
+        write_gate(os, Gate::h(g.qubits[0]));
+        write_gate(os, Gate::h(g.qubits[1]));
+        break;
+      case GateKind::MCX:
+        for (const Gate& e : decompose_gate(g, 3)) write_gate(os, e);
+        break;
+      default:
+        throw Error("qasm::write: cannot serialize " + gate_name(g.kind));
+    }
+  }
+  return os.str();
+}
+
+}  // namespace hisim::qasm

@@ -1,0 +1,16 @@
+#pragma once
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace hisim::qasm {
+
+/// Serializes a circuit to OpenQASM 2.0 (qelib1 vocabulary). Kinds without
+/// a qelib1 spelling (RZZ, RXX, MCX, raw unitaries) are lowered to
+/// qelib1-expressible gates first, so parse(write(c)) simulates to the
+/// same state as c (gate-for-gate identity is not guaranteed for those
+/// kinds).
+std::string write(const Circuit& c);
+
+}  // namespace hisim::qasm

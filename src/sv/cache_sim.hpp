@@ -1,0 +1,85 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "partition/partition.hpp"
+
+namespace hisim::sv {
+
+/// Set-associative LRU cache model. Used to replay the amplitude access
+/// trace of flat vs. hierarchical simulation — the trace-driven stand-in
+/// for the paper's VTune memory profiling (Table II), complementary to the
+/// coarse analytic traffic model in sv/traffic.hpp.
+class CacheLevel {
+ public:
+  CacheLevel(Index capacity_bytes, unsigned ways, unsigned line_bytes = 64);
+
+  /// Returns true on hit; on miss the line is installed (LRU evict).
+  bool access(Index byte_addr);
+
+  Index hits() const { return hits_; }
+  Index misses() const { return misses_; }
+  void reset_counters() { hits_ = misses_ = 0; }
+
+ private:
+  unsigned line_shift_;
+  Index num_sets_;
+  unsigned ways_;
+  // tags_[set * ways + way]; lru_ holds per-way ages (higher = recent).
+  std::vector<Index> tags_;
+  std::vector<std::uint32_t> lru_;
+  std::uint32_t clock_ = 0;
+  Index hits_ = 0, misses_ = 0;
+};
+
+/// A three-level inclusive-enough hierarchy (hit at the first level that
+/// has the line; misses propagate and install at every level).
+class CacheHierarchy {
+ public:
+  struct Config {
+    Index l1_bytes = 64ull << 10;
+    unsigned l1_ways = 8;
+    Index l2_bytes = 1ull << 20;
+    unsigned l2_ways = 16;
+    Index l3_bytes = 32ull << 20;
+    unsigned l3_ways = 16;
+    unsigned line_bytes = 64;
+  };
+
+  explicit CacheHierarchy(const Config& cfg);
+  CacheHierarchy() : CacheHierarchy(Config()) {}
+
+  /// Touches one byte address; records the level that served it
+  /// (0=L1, 1=L2, 2=L3, 3=DRAM).
+  void access(Index byte_addr);
+
+  /// Accesses served per level [L1, L2, L3, DRAM].
+  std::array<Index, 4> served() const { return served_; }
+  double pct(unsigned level) const;
+  Index total() const {
+    return served_[0] + served_[1] + served_[2] + served_[3];
+  }
+  void reset_counters();
+
+ private:
+  std::vector<CacheLevel> levels_;
+  std::array<Index, 4> served_{};
+};
+
+/// Replays the amplitude-access trace of a *flat* simulation of `c`
+/// (every gate sweeps the full state vector with its natural stride
+/// pattern — Fig. 1 of the paper) through `cache`.
+void replay_flat_trace(const Circuit& c, CacheHierarchy& cache);
+
+/// Replays the trace of a hierarchical run: per part, for each outer
+/// assignment — gather reads (strided outer) + inner writes, the part's
+/// gates sweeping the inner vector, then scatter. Inner vectors are
+/// allocated beyond the outer vector, matching the implementation.
+void replay_hierarchical_trace(const Circuit& c,
+                               const partition::Partitioning& parts,
+                               CacheHierarchy& cache);
+
+}  // namespace hisim::sv

@@ -1,0 +1,193 @@
+#include "sv/kernels.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "common/bits.hpp"
+#include "common/parallel.hpp"
+
+namespace hisim::sv {
+namespace {
+
+/// Single-qubit 2x2 kernel: enumerate pairs (i0, i1 = i0 | 2^q).
+void apply_1q(StateVector& s, Qubit q, const Matrix& u) {
+  const cplx u00 = u(0, 0), u01 = u(0, 1), u10 = u(1, 0), u11 = u(1, 1);
+  const Index half = s.size() >> 1;
+  const Index qb = Index{1} << q;
+  cplx* a = s.data();
+  parallel::for_range(0, half, [&](Index lo, Index hi) {
+    for (Index m = lo; m < hi; ++m) {
+      const Index i0 = bits::insert_zero(m, q);
+      const Index i1 = i0 | qb;
+      const cplx a0 = a[i0], a1 = a[i1];
+      a[i0] = u00 * a0 + u01 * a1;
+      a[i1] = u10 * a0 + u11 * a1;
+    }
+  });
+}
+
+/// Controlled 2x2 kernel: pairs on the target where all control bits set.
+void apply_controlled_1q(StateVector& s, Index ctrl_mask, Qubit target,
+                         const Matrix& u) {
+  const cplx u00 = u(0, 0), u01 = u(0, 1), u10 = u(1, 0), u11 = u(1, 1);
+  const Index half = s.size() >> 1;
+  const Index tb = Index{1} << target;
+  cplx* a = s.data();
+  parallel::for_range(0, half, [&](Index lo, Index hi) {
+    for (Index m = lo; m < hi; ++m) {
+      const Index i0 = bits::insert_zero(m, target);
+      if ((i0 & ctrl_mask) != ctrl_mask) continue;
+      const Index i1 = i0 | tb;
+      const cplx a0 = a[i0], a1 = a[i1];
+      a[i0] = u00 * a0 + u01 * a1;
+      a[i1] = u10 * a0 + u11 * a1;
+    }
+  });
+}
+
+/// Diagonal kernel: one multiply per amplitude, phases indexed by the
+/// gate-local bit pattern.
+void apply_diagonal(StateVector& s, const std::vector<Qubit>& qs,
+                    const std::vector<cplx>& phases) {
+  cplx* a = s.data();
+  const unsigned k = static_cast<unsigned>(qs.size());
+  parallel::for_range(0, s.size(), [&](Index lo, Index hi) {
+    for (Index i = lo; i < hi; ++i) {
+      Index code = 0;
+      for (unsigned j = 0; j < k; ++j)
+        code |= static_cast<Index>(bits::test(i, qs[j])) << j;
+      a[i] *= phases[code];
+    }
+  });
+}
+
+void apply_swap(StateVector& s, Qubit qa, Qubit qb) {
+  if (qa == qb) return;
+  const Index ba = Index{1} << qa, bb = Index{1} << qb;
+  cplx* a = s.data();
+  // Enumerate indices with qa=1, qb=0 and swap with the (0,1) partner.
+  parallel::for_range(0, s.size(), [&](Index lo, Index hi) {
+    for (Index i = lo; i < hi; ++i) {
+      if ((i & ba) && !(i & bb)) std::swap(a[i], a[(i & ~ba) | bb]);
+    }
+  });
+}
+
+/// Generic k-qubit dense kernel.
+void apply_generic(StateVector& s, const std::vector<Qubit>& qs,
+                   const Matrix& u) {
+  const unsigned k = static_cast<unsigned>(qs.size());
+  HISIM_CHECK_MSG(k <= 16, "generic kernel limited to 16-qubit gates");
+  const Index kdim = Index{1} << k;
+  Index mask = 0;
+  for (Qubit q : qs) mask |= Index{1} << q;
+  // offset[t]: contribution of local pattern t to the global index.
+  std::vector<Index> offset(kdim);
+  for (Index t = 0; t < kdim; ++t) {
+    Index off = 0;
+    for (unsigned j = 0; j < k; ++j)
+      if (bits::test(t, j)) off |= Index{1} << qs[j];
+    offset[t] = off;
+  }
+  const Index outer = s.size() >> k;
+  const Index inv = ~mask & (s.size() - 1);
+  cplx* a = s.data();
+  parallel::for_range(
+      0, outer,
+      [&](Index lo, Index hi) {
+        std::vector<cplx> in(kdim), out(kdim);
+        for (Index m = lo; m < hi; ++m) {
+          const Index base = bits::deposit(m, inv);
+          for (Index t = 0; t < kdim; ++t) in[t] = a[base | offset[t]];
+          for (Index r = 0; r < kdim; ++r) {
+            cplx acc = 0.0;
+            for (Index t = 0; t < kdim; ++t) acc += u(r, t) * in[t];
+            out[r] = acc;
+          }
+          for (Index t = 0; t < kdim; ++t) a[base | offset[t]] = out[t];
+        }
+      },
+      /*grain=*/Index{1} << std::max(0, 12 - static_cast<int>(k)));
+}
+
+/// Diagonal phase table for the diagonal kinds.
+std::vector<cplx> diagonal_phases(const Gate& g) {
+  const Matrix m = g.matrix();
+  std::vector<cplx> ph(m.rows());
+  for (std::size_t i = 0; i < m.rows(); ++i) ph[i] = m(i, i);
+  return ph;
+}
+
+void apply_gate_on(StateVector& state, const Gate& g,
+                   const std::vector<Qubit>& qs) {
+  for (Qubit q : qs) HISIM_CHECK(q < state.num_qubits());
+  if (g.is_diagonal()) {
+    apply_diagonal(state, qs, diagonal_phases(g));
+    return;
+  }
+  switch (g.kind) {
+    case GateKind::SWAP:
+      apply_swap(state, qs[0], qs[1]);
+      return;
+    case GateKind::RXX: case GateKind::Unitary:
+      apply_generic(state, qs, g.matrix());
+      return;
+    case GateKind::CSWAP: {
+      // Controlled swap: swap qs[1], qs[2] where control bit set.
+      const Index cb = Index{1} << qs[0];
+      const Index ba = Index{1} << qs[1], bb = Index{1} << qs[2];
+      cplx* a = state.data();
+      parallel::for_range(0, state.size(), [&](Index lo, Index hi) {
+        for (Index i = lo; i < hi; ++i)
+          if ((i & cb) && (i & ba) && !(i & bb))
+            std::swap(a[i], a[(i & ~ba) | bb]);
+      });
+      return;
+    }
+    default:
+      break;
+  }
+  const unsigned nc = g.num_controls();
+  if (nc == 0) {
+    apply_1q(state, qs[0], g.target_matrix());
+  } else {
+    Index cm = 0;
+    for (unsigned i = 0; i < nc; ++i) cm |= Index{1} << qs[i];
+    apply_controlled_1q(state, cm, qs.back(), g.target_matrix());
+  }
+}
+
+}  // namespace
+
+void apply_gate(StateVector& state, const Gate& gate) {
+  apply_gate_on(state, gate, gate.qubits);
+}
+
+void apply_gate_remapped(StateVector& state, const Gate& gate,
+                         std::span<const Qubit> slot_of) {
+  std::vector<Qubit> qs(gate.qubits.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    HISIM_CHECK(gate.qubits[i] < slot_of.size());
+    qs[i] = slot_of[gate.qubits[i]];
+  }
+  apply_gate_on(state, gate, qs);
+}
+
+double gate_flops(const Gate& gate, unsigned num_qubits) {
+  // One 2x2 matrix-vector multiply = 28 FLOPs (paper Sec. III-A).
+  const double pairs = static_cast<double>(dim(num_qubits)) / 2.0;
+  if (gate.is_diagonal())  // one complex multiply (6 FLOPs) per amplitude
+    return 6.0 * static_cast<double>(dim(num_qubits));
+  const unsigned nc = gate.num_controls();
+  if (nc > 0 || gate.arity() == 1) {
+    // controls reduce the touched pair count by 2^nc
+    return 28.0 * pairs / static_cast<double>(Index{1} << nc);
+  }
+  // k-qubit dense: 2^k x 2^k matvec per block: 8*2^k*2^k - 2*2^k FLOPs.
+  const unsigned k = gate.arity();
+  const double kd = static_cast<double>(Index{1} << k);
+  const double blocks = static_cast<double>(dim(num_qubits)) / kd;
+  return blocks * (8.0 * kd * kd - 2.0 * kd);
+}
+
+}  // namespace hisim::sv

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <span>
+
+#include "circuit/gate.hpp"
+#include "sv/state_vector.hpp"
+
+namespace hisim::sv {
+
+/// Applies `gate` to `state` in place. Dispatches to specialized kernels:
+///  * diagonal gates      — single phase sweep, no amplitude mixing
+///  * single-qubit gates  — strided pair updates (Fig. 1 pattern)
+///  * controlled 2x2      — pair updates masked by the control bits
+///  * SWAP                — index-pair exchange
+///  * generic k-qubit     — gather 2^k amplitudes, multiply, scatter
+/// All kernels parallelize over amplitude blocks via parallel::for_range.
+void apply_gate(StateVector& state, const Gate& gate);
+
+/// Applies `gate` with its qubit operands remapped through `slot_of`:
+/// original qubit q acts on state qubit slot_of[q]. Used by the
+/// hierarchical simulator (inner state vectors) and the distributed layer
+/// (local slots). Entries for qubits the gate does not touch are ignored.
+void apply_gate_remapped(StateVector& state, const Gate& gate,
+                         std::span<const Qubit> slot_of);
+
+/// Counts the floating-point work of one gate application on an n-qubit
+/// state (28 FLOPs per 2x2 matrix-vector multiply per the paper's Sec.
+/// III-A roofline analysis). Used by the traffic/efficiency models.
+double gate_flops(const Gate& gate, unsigned num_qubits);
+
+}  // namespace hisim::sv

@@ -1,0 +1,151 @@
+#include "sv/observables.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace hisim::sv {
+
+PauliString PauliString::parse(const std::string& text) {
+  PauliString out;
+  std::set<Qubit> seen;
+  auto add = [&](char op, Qubit q) {
+    Pauli p;
+    switch (std::toupper(op)) {
+      case 'X': p = Pauli::X; break;
+      case 'Y': p = Pauli::Y; break;
+      case 'Z': p = Pauli::Z; break;
+      case 'I': return;
+      default:
+        throw Error(std::string("bad Pauli operator '") + op + "'");
+    }
+    HISIM_CHECK_MSG(seen.insert(q).second,
+                    "duplicate qubit " << q << " in Pauli string");
+    out.factors.emplace_back(q, p);
+  };
+  // Indexed form? (contains a digit)
+  const bool indexed = std::any_of(text.begin(), text.end(), [](char c) {
+    return std::isdigit(static_cast<unsigned char>(c));
+  });
+  if (indexed) {
+    std::size_t i = 0;
+    while (i < text.size()) {
+      const char c = text[i];
+      if (c == '*' || c == ' ' || c == ',') { ++i; continue; }
+      HISIM_CHECK_MSG(i + 1 < text.size() &&
+                          std::isdigit(static_cast<unsigned char>(text[i + 1])),
+                      "expected qubit index after '" << c << "'");
+      std::size_t j = i + 1;
+      while (j < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[j])))
+        ++j;
+      add(c, static_cast<Qubit>(std::stoul(text.substr(i + 1, j - i - 1))));
+      i = j;
+    }
+  } else {
+    // One letter per qubit starting at qubit 0.
+    Qubit q = 0;
+    for (char c : text) {
+      if (c == ' ') continue;
+      add(c, q++);
+    }
+  }
+  return out;
+}
+
+std::string PauliString::to_string() const {
+  if (factors.empty()) return "I";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < factors.size(); ++i) {
+    if (i) os << "*";
+    os << "XYZ"[static_cast<int>(factors[i].second)] << factors[i].first;
+  }
+  return os.str();
+}
+
+double expectation(const StateVector& state, const PauliString& p) {
+  // P|i> = phase(i) |i ^ flip_mask>, with phase from Z and Y factors.
+  Index flip = 0, zmask = 0, ymask = 0;
+  for (const auto& [q, op] : p.factors) {
+    HISIM_CHECK(q < state.num_qubits());
+    switch (op) {
+      case Pauli::X: flip |= Index{1} << q; break;
+      case Pauli::Y: flip |= Index{1} << q; ymask |= Index{1} << q; break;
+      case Pauli::Z: zmask |= Index{1} << q; break;
+    }
+  }
+  const unsigned ny = bits::popcount(ymask);
+  // Global factor from Y = i * X * Z decomposition: each Y contributes a
+  // factor of i and acts as X (bit flip) combined with Z (sign on the
+  // source bit). <psi|P|psi> = sum_i conj(a_{i^flip}) * phase(i) * a_i.
+  cplx acc = 0.0;
+  for (Index i = 0; i < state.size(); ++i) {
+    const cplx a = state[i];
+    if (a == cplx{}) continue;
+    // Sign from Z factors and the Z-part of Y factors.
+    const unsigned zbits = bits::popcount(i & (zmask | ymask));
+    double sign = (zbits & 1u) ? -1.0 : 1.0;
+    cplx phase = sign;
+    // i^ny overall factor from the Y decomposition.
+    switch (ny & 3u) {
+      case 1: phase *= cplx(0, 1); break;
+      case 2: phase *= -1.0; break;
+      case 3: phase *= cplx(0, -1); break;
+      default: break;
+    }
+    acc += std::conj(state[i ^ flip]) * phase * a;
+  }
+  HISIM_CHECK_MSG(std::abs(acc.imag()) < 1e-9,
+                  "non-real Pauli expectation (bug): " << acc.imag());
+  return acc.real();
+}
+
+double expectation(const StateVector& state,
+                   const std::vector<std::pair<double, PauliString>>& ham) {
+  double e = 0.0;
+  for (const auto& [w, p] : ham) e += w * expectation(state, p);
+  return e;
+}
+
+std::vector<double> marginal_probabilities(const StateVector& state,
+                                           const std::vector<Qubit>& qubits) {
+  for (Qubit q : qubits) HISIM_CHECK(q < state.num_qubits());
+  const unsigned k = static_cast<unsigned>(qubits.size());
+  HISIM_CHECK(k <= 30);
+  std::vector<double> probs(Index{1} << k, 0.0);
+  for (Index i = 0; i < state.size(); ++i) {
+    const double pr = std::norm(state[i]);
+    if (pr == 0.0) continue;
+    Index code = 0;
+    for (unsigned j = 0; j < k; ++j)
+      code |= static_cast<Index>(bits::test(i, qubits[j])) << j;
+    probs[code] += pr;
+  }
+  return probs;
+}
+
+std::vector<Index> sample(const StateVector& state, std::size_t shots,
+                          Rng& rng) {
+  // Cumulative distribution + binary search per shot.
+  std::vector<double> cdf(state.size());
+  double acc = 0.0;
+  for (Index i = 0; i < state.size(); ++i) {
+    acc += std::norm(state[i]);
+    cdf[i] = acc;
+  }
+  HISIM_CHECK_MSG(std::abs(acc - 1.0) < 1e-6, "state is not normalized");
+  std::vector<Index> out(shots);
+  for (std::size_t s = 0; s < shots; ++s) {
+    const double u = rng.uniform() * acc;
+    out[s] = static_cast<Index>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+  }
+  return out;
+}
+
+}  // namespace hisim::sv

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sv/state_vector.hpp"
+
+namespace hisim::sv {
+
+/// One Pauli factor acting on a qubit.
+enum class Pauli { X, Y, Z };
+
+/// A Pauli string observable: a product of single-qubit Paulis on distinct
+/// qubits (identity elsewhere), e.g. Z0*Z3 or X1*Y2.
+struct PauliString {
+  std::vector<std::pair<Qubit, Pauli>> factors;
+
+  /// Parses forms like "Z0*Z3", "X1 Y2", "ZZ" (one letter per qubit from
+  /// qubit 0). Throws on malformed input.
+  static PauliString parse(const std::string& text);
+  std::string to_string() const;
+};
+
+/// <state| P |state> (always real for Hermitian P). O(2^n).
+double expectation(const StateVector& state, const PauliString& p);
+
+/// Expectation of a weighted sum of Pauli strings (e.g. an Ising / MaxCut
+/// Hamiltonian).
+double expectation(const StateVector& state,
+                   const std::vector<std::pair<double, PauliString>>& ham);
+
+/// Probability of each basis state of the `qubits` sub-register (marginal
+/// over all other qubits). Result has 2^|qubits| entries; bit j of the
+/// entry index corresponds to qubits[j].
+std::vector<double> marginal_probabilities(const StateVector& state,
+                                           const std::vector<Qubit>& qubits);
+
+/// Draws `shots` measurement outcomes in the computational basis
+/// (full-register bitstrings), using binary search over the cumulative
+/// distribution. Deterministic for a fixed Rng seed.
+std::vector<Index> sample(const StateVector& state, std::size_t shots,
+                          Rng& rng);
+
+}  // namespace hisim::sv

@@ -1,0 +1,19 @@
+#include "sv/simulator.hpp"
+
+#include "common/error.hpp"
+#include "sv/kernels.hpp"
+
+namespace hisim::sv {
+
+void FlatSimulator::run(const Circuit& c, StateVector& state) const {
+  HISIM_CHECK(state.num_qubits() == c.num_qubits());
+  for (const Gate& g : c.gates()) apply_gate(state, g);
+}
+
+StateVector FlatSimulator::simulate(const Circuit& c) const {
+  StateVector state(c.num_qubits());
+  run(c, state);
+  return state;
+}
+
+}  // namespace hisim::sv

@@ -1,0 +1,20 @@
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "sv/state_vector.hpp"
+
+namespace hisim::sv {
+
+/// Reference flat simulator: applies every gate directly to the full state
+/// vector (no partitioning). Ground truth for all correctness tests and
+/// the non-hierarchical arm of the Table II comparison.
+class FlatSimulator {
+ public:
+  /// Applies all gates of `c` to `state` (sizes must match).
+  void run(const Circuit& c, StateVector& state) const;
+
+  /// Convenience: simulate from |0..0>.
+  StateVector simulate(const Circuit& c) const;
+};
+
+}  // namespace hisim::sv

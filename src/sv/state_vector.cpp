@@ -1,0 +1,44 @@
+#include "sv/state_vector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.hpp"
+
+namespace hisim::sv {
+
+double StateVector::norm() const {
+  double n = 0.0;
+  for (const cplx& a : amps_) n += std::norm(a);
+  return n;
+}
+
+double StateVector::prob_one(Qubit q) const {
+  HISIM_CHECK(q < num_qubits_);
+  double p = 0.0;
+  for (Index i = 0; i < size(); ++i)
+    if (bits::test(i, q)) p += std::norm(amps_[i]);
+  return p;
+}
+
+double StateVector::max_abs_diff(const StateVector& other) const {
+  HISIM_CHECK(size() == other.size());
+  double m = 0.0;
+  for (Index i = 0; i < size(); ++i)
+    m = std::max(m, std::abs(amps_[i] - other.amps_[i]));
+  return m;
+}
+
+double StateVector::fidelity(const StateVector& other) const {
+  HISIM_CHECK(size() == other.size());
+  cplx ip = 0.0;
+  for (Index i = 0; i < size(); ++i) ip += std::conj(amps_[i]) * other.amps_[i];
+  return std::norm(ip);
+}
+
+void StateVector::reset() {
+  std::fill(amps_.begin(), amps_.end(), cplx{});
+  amps_[0] = 1.0;
+}
+
+}  // namespace hisim::sv

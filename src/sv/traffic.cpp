@@ -1,0 +1,45 @@
+#include "sv/traffic.hpp"
+
+namespace hisim::sv {
+namespace {
+
+TrafficBreakdown::Level level_for(Index working_bytes,
+                                  const CacheConfig& cache) {
+  if (working_bytes <= cache.l1_bytes) return TrafficBreakdown::L1;
+  if (working_bytes <= cache.l2_bytes) return TrafficBreakdown::L2;
+  if (working_bytes <= cache.l3_bytes) return TrafficBreakdown::L3;
+  return TrafficBreakdown::DRAM;
+}
+
+}  // namespace
+
+TrafficBreakdown model_traffic(const Circuit& c,
+                               const partition::Partitioning& p,
+                               const CacheConfig& cache) {
+  TrafficBreakdown out;
+  const double sv_bytes = static_cast<double>(dim(c.num_qubits())) * kAmpBytes;
+  const auto outer_level = level_for(static_cast<Index>(sv_bytes), cache);
+  for (const partition::Part& part : p.parts) {
+    // Gather + scatter: one read and one write sweep of the outer vector.
+    out.bytes[outer_level] += 2.0 * sv_bytes;
+    // Gate execution: each gate sweeps the inner vector across all
+    // gather iterations — sv_bytes of traffic in total, served by the
+    // level the inner vector fits in.
+    const Index inner_bytes = dim(part.working_set()) * kAmpBytes;
+    const auto inner_level = level_for(inner_bytes, cache);
+    out.bytes[inner_level] +=
+        2.0 * sv_bytes * static_cast<double>(part.gates.size());
+  }
+  return out;
+}
+
+TrafficBreakdown model_flat_traffic(const Circuit& c,
+                                    const CacheConfig& cache) {
+  TrafficBreakdown out;
+  const double sv_bytes = static_cast<double>(dim(c.num_qubits())) * kAmpBytes;
+  const auto level = level_for(static_cast<Index>(sv_bytes), cache);
+  out.bytes[level] += 2.0 * sv_bytes * static_cast<double>(c.num_gates());
+  return out;
+}
+
+}  // namespace hisim::sv

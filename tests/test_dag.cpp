@@ -1,0 +1,145 @@
+#include "dag/circuit_dag.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/generators.hpp"
+#include "common/rng.hpp"
+
+namespace hisim::dag {
+namespace {
+
+Circuit ghz3() {
+  Circuit c(3);
+  c.add(Gate::h(0));
+  c.add(Gate::cx(0, 1));
+  c.add(Gate::cx(1, 2));
+  return c;
+}
+
+TEST(CircuitDag, NodeLayout) {
+  const Circuit c = ghz3();
+  const CircuitDag d(c);
+  EXPECT_EQ(d.num_nodes(), 3u + 3u + 3u);
+  EXPECT_EQ(d.kind(d.entry_node(0)), NodeKind::Entry);
+  EXPECT_EQ(d.kind(d.gate_node(0)), NodeKind::Gate);
+  EXPECT_EQ(d.kind(d.exit_node(2)), NodeKind::Exit);
+  EXPECT_EQ(d.gate_index(d.gate_node(2)), 2u);
+  EXPECT_EQ(d.qubit_of(d.exit_node(1)), 1u);
+}
+
+TEST(CircuitDag, EntryAndExitDegrees) {
+  const Circuit c = ghz3();
+  const CircuitDag d(c);
+  for (Qubit q = 0; q < 3; ++q) {
+    EXPECT_EQ(d.preds(d.entry_node(q)).size(), 0u);
+    EXPECT_EQ(d.succs(d.entry_node(q)).size(), 1u);
+    EXPECT_EQ(d.succs(d.exit_node(q)).size(), 0u);
+    EXPECT_EQ(d.preds(d.exit_node(q)).size(), 1u);
+  }
+}
+
+TEST(CircuitDag, GateInOutDegreesEqualArity) {
+  const Circuit c = circuits::qft(5);
+  const CircuitDag d(c);
+  for (std::size_t i = 0; i < c.num_gates(); ++i) {
+    const NodeId v = d.gate_node(i);
+    EXPECT_EQ(d.preds(v).size(), c.gate(i).arity());
+    EXPECT_EQ(d.succs(v).size(), c.gate(i).arity());
+  }
+}
+
+TEST(CircuitDag, EdgesTraceQubits) {
+  const Circuit c = ghz3();
+  const CircuitDag d(c);
+  // entry(0) -> h(gate0) on q0; gate0 -> gate1 on q0; entry(1) -> gate1.
+  const auto s0 = d.succs(d.entry_node(0));
+  ASSERT_EQ(s0.size(), 1u);
+  EXPECT_EQ(s0[0].to, d.gate_node(0));
+  EXPECT_EQ(s0[0].qubit, 0u);
+  bool found = false;
+  for (const Edge& e : d.succs(d.gate_node(0)))
+    if (e.to == d.gate_node(1) && e.qubit == 0) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(CircuitDag, NaturalOrderIsTopological) {
+  const Circuit c = circuits::qaoa(8, 2, 3);
+  const CircuitDag d(c);
+  EXPECT_TRUE(d.is_topological_gate_order(d.natural_order()));
+}
+
+TEST(CircuitDag, RandomDfsOrdersAreTopological) {
+  const Circuit c = circuits::qft(6);
+  const CircuitDag d(c);
+  Rng rng(99);
+  for (int t = 0; t < 10; ++t)
+    EXPECT_TRUE(d.is_topological_gate_order(d.random_dfs_order(rng)));
+}
+
+TEST(CircuitDag, RandomKahnOrdersAreTopological) {
+  const Circuit c = circuits::grover(6, 1);
+  const CircuitDag d(c);
+  Rng rng(7);
+  for (int t = 0; t < 10; ++t)
+    EXPECT_TRUE(d.is_topological_gate_order(d.random_kahn_order(rng)));
+}
+
+TEST(CircuitDag, NonTopologicalOrderRejected) {
+  const Circuit c = ghz3();
+  const CircuitDag d(c);
+  std::vector<NodeId> bad = {d.gate_node(1), d.gate_node(0), d.gate_node(2)};
+  EXPECT_FALSE(d.is_topological_gate_order(bad));
+  std::vector<NodeId> dup = {d.gate_node(0), d.gate_node(0), d.gate_node(2)};
+  EXPECT_FALSE(d.is_topological_gate_order(dup));
+}
+
+TEST(PartGraph, AcyclicForSegments) {
+  const Circuit c = circuits::ising(6, 2, 1);
+  const CircuitDag d(c);
+  // Assign first half to part 0, second half to part 1 (natural order).
+  std::vector<int> part_of(c.num_gates());
+  for (std::size_t i = 0; i < c.num_gates(); ++i)
+    part_of[i] = i < c.num_gates() / 2 ? 0 : 1;
+  const PartGraph pg = build_part_graph(d, part_of, 2);
+  EXPECT_TRUE(pg.is_acyclic());
+  const auto order = pg.topological_order();
+  EXPECT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 0);
+}
+
+TEST(PartGraph, DetectsCycle) {
+  // Interleave gates of a dependent chain between two parts -> cycle.
+  Circuit c(2);
+  c.add(Gate::h(0));      // part 0
+  c.add(Gate::cx(0, 1));  // part 1
+  c.add(Gate::h(0));      // part 0 again -> 0 -> 1 -> 0 cycle
+  const CircuitDag d(c);
+  std::vector<int> part_of = {0, 1, 0};
+  const PartGraph pg = build_part_graph(d, part_of, 2);
+  EXPECT_FALSE(pg.is_acyclic());
+}
+
+TEST(PartGraph, Reachability) {
+  PartGraph pg;
+  pg.num_parts = 4;
+  pg.succs = {{1}, {2}, {}, {2}};
+  pg.preds = {{}, {0}, {1, 3}, {}};
+  const auto reach = pg.reachability();
+  EXPECT_TRUE(reach[0][1]);
+  EXPECT_TRUE(reach[0][2]);
+  EXPECT_FALSE(reach[0][3]);
+  EXPECT_TRUE(reach[3][2]);
+  EXPECT_FALSE(reach[2][0]);
+}
+
+TEST(CircuitDag, DotExportContainsNodes) {
+  const Circuit c = ghz3();
+  const CircuitDag d(c);
+  const std::string dot = d.to_dot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("cx"), std::string::npos);
+  EXPECT_NE(dot.find("exit q2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hisim::dag

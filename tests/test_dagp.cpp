@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "circuits/generators.hpp"
+#include "partition/partition.hpp"
+
+namespace hisim::partition {
+namespace {
+
+struct Case {
+  std::string name;
+  unsigned qubits;
+  unsigned limit;
+};
+
+class DagpSuite : public ::testing::TestWithParam<Case> {};
+
+TEST_P(DagpSuite, ValidAndWithinLimit) {
+  const Case& tc = GetParam();
+  const Circuit c = circuits::make_by_name(tc.name, tc.qubits);
+  const dag::CircuitDag d(c);
+  PartitionOptions opt;
+  opt.limit = tc.limit;
+  const Partitioning p = partition_dagp(d, opt);
+  validate(d, p);
+  EXPECT_LE(p.max_working_set(), tc.limit);
+}
+
+TEST_P(DagpSuite, BeatsOrMatchesNat) {
+  const Case& tc = GetParam();
+  const Circuit c = circuits::make_by_name(tc.name, tc.qubits);
+  const dag::CircuitDag d(c);
+  PartitionOptions opt;
+  opt.limit = tc.limit;
+  const Partitioning dagp = partition_dagp(d, opt);
+  const Partitioning nat = partition_nat(d, tc.limit);
+  // dagP's merge phase guarantees local optimality; it should essentially
+  // never lose to the purely greedy natural cutoff by more than a part.
+  EXPECT_LE(dagp.num_parts(), nat.num_parts() + 1)
+      << tc.name << " limit " << tc.limit;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, DagpSuite,
+    ::testing::Values(Case{"bv", 10, 5}, Case{"bv", 10, 8},
+                      Case{"cat_state", 10, 4}, Case{"qft", 8, 5},
+                      Case{"ising", 10, 5}, Case{"qaoa", 8, 5},
+                      Case{"cc", 10, 6}, Case{"qnn", 8, 5},
+                      Case{"qpe", 8, 5}, Case{"adder37", 10, 6},
+                      Case{"grover", 8, 8}),
+    [](const auto& info) {
+      return info.param.name + "_q" + std::to_string(info.param.qubits) +
+             "_L" + std::to_string(info.param.limit);
+    });
+
+TEST(Dagp, SinglePartWhenCircuitFits) {
+  const Circuit c = circuits::qft(5);
+  const dag::CircuitDag d(c);
+  PartitionOptions opt;
+  opt.limit = 5;
+  const Partitioning p = partition_dagp(d, opt);
+  EXPECT_EQ(p.num_parts(), 1u);
+}
+
+TEST(Dagp, DeterministicForFixedSeed) {
+  const Circuit c = circuits::qaoa(10, 2, 9);
+  const dag::CircuitDag d(c);
+  PartitionOptions opt;
+  opt.limit = 5;
+  opt.seed = 777;
+  const Partitioning a = partition_dagp(d, opt);
+  const Partitioning b = partition_dagp(d, opt);
+  EXPECT_EQ(a.part_of, b.part_of);
+}
+
+TEST(Dagp, CoarseningPreservesValidity) {
+  const Circuit c = circuits::qpe(9);
+  const dag::CircuitDag d(c);
+  PartitionOptions with, without;
+  with.limit = without.limit = 5;
+  with.coarsen = true;
+  without.coarsen = false;
+  const Partitioning a = partition_dagp(d, with);
+  const Partitioning b = partition_dagp(d, without);
+  validate(d, a);
+  validate(d, b);
+}
+
+TEST(Dagp, MergePhaseNeverIncreasesParts) {
+  const Circuit c = circuits::ising(10, 3, 2);
+  const dag::CircuitDag d(c);
+  PartitionOptions merged, unmerged;
+  merged.limit = unmerged.limit = 5;
+  merged.merge = true;
+  unmerged.merge = false;
+  const Partitioning a = partition_dagp(d, merged);
+  const Partitioning b = partition_dagp(d, unmerged);
+  validate(d, a);
+  validate(d, b);
+  EXPECT_LE(a.num_parts(), b.num_parts());
+}
+
+TEST(Dagp, EmptyCircuit) {
+  const Circuit c(4);
+  const dag::CircuitDag d(c);
+  PartitionOptions opt;
+  opt.limit = 2;
+  const Partitioning p = partition_dagp(d, opt);
+  EXPECT_EQ(p.num_parts(), 0u);
+}
+
+TEST(Dagp, PartitionTimeRecorded) {
+  const Circuit c = circuits::qft(8);
+  const dag::CircuitDag d(c);
+  PartitionOptions opt;
+  opt.limit = 4;
+  opt.strategy = Strategy::DagP;
+  const Partitioning p = make_partition(d, opt);
+  EXPECT_GT(p.partition_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace hisim::partition

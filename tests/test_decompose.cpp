@@ -1,0 +1,145 @@
+#include "circuit/decompose.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sv/simulator.hpp"
+#include "sv/state_vector.hpp"
+
+namespace hisim {
+namespace {
+
+constexpr cplx kI{0.0, 1.0};
+
+Matrix rz(double t) {
+  return Matrix::from_rows(2, 2,
+                           {std::exp(-kI * (t / 2)), 0.0, 0.0,
+                            std::exp(kI * (t / 2))});
+}
+Matrix ry(double t) {
+  return Matrix::from_rows(
+      2, 2, {std::cos(t / 2), -std::sin(t / 2), std::sin(t / 2),
+             std::cos(t / 2)});
+}
+
+void expect_zyz_reconstructs(const Matrix& u) {
+  const ZyzAngles a = zyz_decompose(u);
+  const Matrix rec =
+      (rz(a.beta) * ry(a.gamma) * rz(a.delta)) * std::exp(kI * a.alpha);
+  EXPECT_LT(rec.max_abs_diff(u), 1e-10);
+}
+
+TEST(Zyz, ReconstructsStandardGates) {
+  expect_zyz_reconstructs(Gate::h(0).matrix());
+  expect_zyz_reconstructs(Gate::x(0).matrix());
+  expect_zyz_reconstructs(Gate::y(0).matrix());
+  expect_zyz_reconstructs(Gate::z(0).matrix());
+  expect_zyz_reconstructs(Gate::t(0).matrix());
+  expect_zyz_reconstructs(Gate::sx(0).matrix());
+  expect_zyz_reconstructs(Gate::u3(0, 0.7, -0.3, 2.1).matrix());
+  expect_zyz_reconstructs(Gate::rx(0, 1.3).matrix());
+}
+
+TEST(SqrtUnitary, SquaresBack) {
+  for (const Gate& g :
+       {Gate::x(0), Gate::y(0), Gate::h(0), Gate::t(0), Gate::sx(0),
+        Gate::u3(0, 0.4, 1.1, -0.2), Gate::rz(0, 0.9)}) {
+    const Matrix u = g.matrix();
+    const Matrix v = sqrt_unitary_2x2(u);
+    EXPECT_LT((v * v).max_abs_diff(u), 1e-9) << g.to_string();
+    EXPECT_TRUE(v.is_unitary(1e-9)) << g.to_string();
+  }
+}
+
+/// Simulation-level equivalence of a gate and its decomposition.
+void expect_equivalent(const Gate& g, const std::vector<Gate>& dec,
+                       unsigned n) {
+  Circuit orig(n), low(n);
+  // Prepare a non-trivial state first so equivalence is not vacuous.
+  for (Qubit q = 0; q < n; ++q) orig.add(Gate::u3(q, 0.3 + q, 0.1 * q, -0.2));
+  for (Qubit q = 0; q < n; ++q) low.add(Gate::u3(q, 0.3 + q, 0.1 * q, -0.2));
+  orig.add(g);
+  for (const Gate& e : dec) low.add(e);
+  sv::FlatSimulator sim;
+  const auto s1 = sim.simulate(orig);
+  const auto s2 = sim.simulate(low);
+  EXPECT_LT(s1.max_abs_diff(s2), 1e-9) << g.to_string();
+}
+
+TEST(Decompose, CcxToCliffordT) {
+  const Gate g = Gate::ccx(0, 1, 2);
+  expect_equivalent(g, decompose_gate(g, 2), 3);
+}
+
+TEST(Decompose, CswapToTwoQubit) {
+  const Gate g = Gate::cswap(0, 1, 2);
+  const auto dec = decompose_gate(g, 2);
+  for (const Gate& e : dec) EXPECT_LE(e.arity(), 2u);
+  expect_equivalent(g, dec, 3);
+}
+
+TEST(Decompose, McxThreeControls) {
+  const Gate g = Gate::mcx({0, 1, 2, 3});
+  const auto dec = decompose_gate(g, 2);
+  for (const Gate& e : dec) EXPECT_LE(e.arity(), 2u);
+  expect_equivalent(g, dec, 4);
+}
+
+TEST(Decompose, McxFourControlsKeepCcx) {
+  const Gate g = Gate::mcx({0, 1, 2, 3, 4});
+  const auto dec = decompose_gate(g, 3);
+  for (const Gate& e : dec) EXPECT_LE(e.arity(), 3u);
+  expect_equivalent(g, dec, 5);
+}
+
+TEST(Decompose, WithinLimitIsIdentity) {
+  const Gate g = Gate::cx(0, 1);
+  const auto dec = decompose_gate(g, 2);
+  ASSERT_EQ(dec.size(), 1u);
+  EXPECT_TRUE(dec[0] == g);
+}
+
+TEST(LowerTo1qCx, AllTwoQubitKinds) {
+  Circuit c(3);
+  c.add(Gate::cz(0, 1));
+  c.add(Gate::cy(1, 2));
+  c.add(Gate::ch(0, 2));
+  c.add(Gate::swap(0, 2));
+  c.add(Gate::rzz(0, 1, 0.7));
+  c.add(Gate::rxx(1, 2, -0.4));
+  c.add(Gate::cp(0, 1, 1.1));
+  c.add(Gate::crz(1, 2, 0.6));
+  c.add(Gate::crx(0, 1, 0.9));
+  c.add(Gate::cry(1, 2, -1.3));
+  c.add(Gate::cu3(0, 2, 0.5, 0.2, -0.1));
+  c.add(Gate::ccx(0, 1, 2));
+  const Circuit low = lower_to_1q_cx(c);
+  for (const Gate& g : low.gates())
+    EXPECT_TRUE(g.arity() == 1 || g.kind == GateKind::CX) << g.to_string();
+  sv::FlatSimulator sim;
+  EXPECT_LT(sim.simulate(c).max_abs_diff(sim.simulate(low)), 1e-9);
+}
+
+TEST(Lower, ThrowsOnUndecomposableWideUnitary) {
+  const Gate g = Gate::unitary({0, 1, 2}, Matrix::identity(8));
+  EXPECT_THROW(decompose_gate(g, 2), Error);
+}
+
+TEST(Lower, CircuitLowerRespectsMaxArity) {
+  Circuit c(5);
+  c.add(Gate::mcx({0, 1, 2, 3, 4}));
+  c.add(Gate::ccx(1, 2, 3));
+  const Circuit low = lower(c, 3);
+  for (const Gate& g : low.gates()) EXPECT_LE(g.arity(), 3u);
+  sv::FlatSimulator sim;
+  Circuit pre(5), pre2(5);
+  for (Qubit q = 0; q < 5; ++q) pre.add(Gate::h(q)), pre2.add(Gate::h(q));
+  pre.append(c);
+  pre2.append(low);
+  EXPECT_LT(sim.simulate(pre).max_abs_diff(sim.simulate(pre2)), 1e-9);
+}
+
+}  // namespace
+}  // namespace hisim

@@ -1,0 +1,135 @@
+#include "dist/hisvsim_dist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/generators.hpp"
+#include "dist/dist_state.hpp"
+#include "sv/simulator.hpp"
+
+namespace hisim::dist {
+namespace {
+
+TEST(DistState, InitialStateIsGround) {
+  DistState st(6, 2);
+  const sv::StateVector full = st.to_state_vector();
+  EXPECT_NEAR(std::abs(full[0] - 1.0), 0.0, 1e-15);
+  EXPECT_NEAR(full.norm(), 1.0, 1e-15);
+}
+
+TEST(DistState, RedistributePreservesAmplitudes) {
+  DistState st(6, 2);
+  // Scribble a recognizable pattern through rank-local access.
+  for (unsigned r = 0; r < st.num_ranks(); ++r)
+    for (Index i = 0; i < st.local(r).size(); ++i)
+      st.local(r)[i] = cplx(static_cast<double>(st.layout().global_index(r, i)), 0);
+  const sv::StateVector before = st.to_state_vector();
+  NetworkModel net;
+  CommStats stats;
+  const RankLayout target =
+      RankLayout::for_part(6, 2, {4, 5}, st.layout());
+  st.redistribute(target, net, stats);
+  const sv::StateVector after = st.to_state_vector();
+  EXPECT_LT(before.max_abs_diff(after), 1e-15);
+  EXPECT_GT(stats.bytes_total, 0u);
+  EXPECT_EQ(stats.exchanges, 1u);
+  EXPECT_GT(stats.modeled_max_seconds, 0.0);
+  EXPECT_GE(stats.modeled_max_seconds, stats.modeled_avg_seconds);
+}
+
+TEST(DistState, RedistributeToSameLayoutIsFree) {
+  DistState st(5, 1);
+  NetworkModel net;
+  CommStats stats;
+  st.redistribute(st.layout(), net, stats);
+  EXPECT_EQ(stats.exchanges, 0u);
+  EXPECT_EQ(stats.bytes_total, 0u);
+}
+
+struct DistCase {
+  std::string name;
+  unsigned qubits;
+  unsigned p;
+  partition::Strategy strategy;
+  unsigned level2;
+};
+
+class DistributedMatchesFlat : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(DistributedMatchesFlat, SameAmplitudes) {
+  const DistCase& tc = GetParam();
+  const Circuit c = circuits::make_by_name(tc.name, tc.qubits);
+  DistState state(tc.qubits, tc.p);
+  DistributedHiSvSim::Options opt;
+  opt.process_qubits = tc.p;
+  opt.part.strategy = tc.strategy;
+  opt.level2_limit = tc.level2;
+  const DistRunReport rep = DistributedHiSvSim().run(c, opt, state);
+  const sv::StateVector flat = sv::FlatSimulator().simulate(c);
+  EXPECT_LT(state.to_state_vector().max_abs_diff(flat), 1e-10)
+      << tc.name << " p=" << tc.p;
+  EXPECT_GT(rep.parts, 0u);
+  EXPECT_EQ(rep.ranks, 1u << tc.p);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, DistributedMatchesFlat,
+    ::testing::Values(
+        DistCase{"bv", 9, 2, partition::Strategy::DagP, 0},
+        DistCase{"bv", 9, 3, partition::Strategy::Nat, 0},
+        DistCase{"cat_state", 8, 2, partition::Strategy::Dfs, 0},
+        DistCase{"qft", 8, 2, partition::Strategy::DagP, 0},
+        DistCase{"qft", 8, 3, partition::Strategy::DagP, 3},
+        DistCase{"ising", 9, 2, partition::Strategy::DagP, 0},
+        DistCase{"qaoa", 8, 2, partition::Strategy::DagP, 4},
+        DistCase{"cc", 9, 3, partition::Strategy::DagP, 0},
+        DistCase{"qpe", 8, 2, partition::Strategy::DagP, 0},
+        DistCase{"qnn", 8, 2, partition::Strategy::Nat, 0},
+        DistCase{"adder37", 10, 2, partition::Strategy::DagP, 0},
+        DistCase{"grover", 7, 2, partition::Strategy::DagP, 0}),
+    [](const auto& info) {
+      return info.param.name + "_p" + std::to_string(info.param.p) + "_" +
+             partition::strategy_name(info.param.strategy) + "_l2" +
+             std::to_string(info.param.level2);
+    });
+
+TEST(Distributed, AtMostOneRedistributionPerPart) {
+  const Circuit c = circuits::cat_state(8);
+  DistState state(8, 2);
+  DistributedHiSvSim::Options opt;
+  opt.process_qubits = 2;
+  const DistRunReport rep = DistributedHiSvSim().run(c, opt, state);
+  // A part whose qubits are already local (the first one under the
+  // identity layout) costs no exchange, so exchanges <= parts.
+  EXPECT_GT(rep.parts, 1u);
+  EXPECT_LE(rep.comm.exchanges, rep.parts);
+  EXPECT_GE(rep.comm.exchanges, 1u);
+}
+
+TEST(Distributed, CommDecreasesWithFewerParts) {
+  const Circuit c = circuits::ising(9, 3, 5);
+  DistributedHiSvSim sim;
+  DistState s1(9, 2), s2(9, 2);
+  DistributedHiSvSim::Options nat, dagp;
+  nat.process_qubits = dagp.process_qubits = 2;
+  nat.part.strategy = partition::Strategy::Nat;
+  dagp.part.strategy = partition::Strategy::DagP;
+  const auto rep_nat = sim.run(c, nat, s1);
+  const auto rep_dagp = sim.run(c, dagp, s2);
+  EXPECT_LE(rep_dagp.parts, rep_nat.parts);
+  EXPECT_LE(rep_dagp.comm.exchanges, rep_nat.comm.exchanges);
+}
+
+TEST(Distributed, ReportTotalsConsistent) {
+  const Circuit c = circuits::qft(8);
+  DistState state(8, 2);
+  DistributedHiSvSim::Options opt;
+  opt.process_qubits = 2;
+  const DistRunReport rep = DistributedHiSvSim().run(c, opt, state);
+  EXPECT_NEAR(rep.total_seconds(),
+              rep.compute_seconds + rep.comm.modeled_max_seconds, 1e-12);
+  EXPECT_GE(rep.comm_ratio(), 0.0);
+  EXPECT_LE(rep.comm_ratio(), 1.0);
+}
+
+}  // namespace
+}  // namespace hisim::dist

@@ -1,0 +1,79 @@
+#include "partition/exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/generators.hpp"
+
+namespace hisim::partition {
+namespace {
+
+TEST(Exact, SinglePartWhenFits) {
+  const Circuit c = circuits::cat_state(5);
+  const dag::CircuitDag d(c);
+  const ExactResult r = partition_exact(d, 5);
+  EXPECT_TRUE(r.proven_optimal);
+  EXPECT_EQ(r.partitioning.num_parts(), 1u);
+  validate(d, r.partitioning);
+}
+
+TEST(Exact, KnownMinimumChain) {
+  // cat_state(6) with limit 3: the CX chain spans 6 qubits; consecutive
+  // chain parts must overlap in one boundary qubit, so two parts cover at
+  // most 3+3-1 = 5 qubits — the provable minimum is 3 parts.
+  const Circuit c = circuits::cat_state(6);
+  const dag::CircuitDag d(c);
+  const ExactResult r = partition_exact(d, 3);
+  EXPECT_TRUE(r.proven_optimal);
+  EXPECT_EQ(r.partitioning.num_parts(), 3u);
+  validate(d, r.partitioning);
+}
+
+TEST(Exact, NeverWorseThanHeuristics) {
+  for (const char* name : {"bv", "cat_state", "ising", "cc", "qnn"}) {
+    const Circuit c = circuits::make_by_name(name, 7);
+    const dag::CircuitDag d(c);
+    for (unsigned limit : {4u, 5u, 6u}) {
+      const ExactResult r = partition_exact(d, limit, 1u << 20);
+      validate(d, r.partitioning);
+      PartitionOptions opt;
+      opt.limit = limit;
+      const Partitioning heur = partition_dagp(d, opt);
+      EXPECT_LE(r.partitioning.num_parts(), heur.num_parts())
+          << name << " limit " << limit;
+      if (r.proven_optimal) {
+        // dagP should be close to optimal (the paper: within 1-2 parts).
+        EXPECT_LE(heur.num_parts(), r.partitioning.num_parts() + 2)
+            << name << " limit " << limit;
+      }
+    }
+  }
+}
+
+TEST(Exact, BvToyFromPaperFig4) {
+  // Fig. 4: 6-qubit bv, limit 4 — dagP side shows 2 parts.
+  const Circuit c = circuits::bv(6, 0b11111);
+  const dag::CircuitDag d(c);
+  const ExactResult r = partition_exact(d, 4);
+  EXPECT_TRUE(r.proven_optimal);
+  EXPECT_LE(r.partitioning.num_parts(), 3u);
+  validate(d, r.partitioning);
+}
+
+TEST(Exact, BudgetTruncationStillValid) {
+  const Circuit c = circuits::qft(7);
+  const dag::CircuitDag d(c);
+  const ExactResult r = partition_exact(d, 4, /*state_budget=*/64);
+  EXPECT_FALSE(r.proven_optimal);
+  validate(d, r.partitioning);
+}
+
+TEST(Exact, EmptyCircuit) {
+  const Circuit c(3);
+  const dag::CircuitDag d(c);
+  const ExactResult r = partition_exact(d, 2);
+  EXPECT_TRUE(r.proven_optimal);
+  EXPECT_EQ(r.partitioning.num_parts(), 0u);
+}
+
+}  // namespace
+}  // namespace hisim::partition

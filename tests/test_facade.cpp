@@ -1,0 +1,83 @@
+#include "hisvsim/hisvsim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/generators.hpp"
+
+namespace hisim {
+namespace {
+
+TEST(Facade, DefaultSimulateMatchesFlat) {
+  const Circuit c = circuits::qft(8);
+  RunReport rep;
+  const auto state = HiSvSim().simulate(c, &rep);
+  const auto flat = sv::FlatSimulator().simulate(c);
+  EXPECT_LT(state.max_abs_diff(flat), 1e-10);
+  EXPECT_FALSE(rep.distributed);
+  EXPECT_GE(rep.parts, 1u);
+}
+
+TEST(Facade, ExplicitLimitCreatesParts) {
+  RunOptions opt;
+  opt.limit = 4;
+  const Circuit c = circuits::qft(8);
+  RunReport rep;
+  HiSvSim(opt).simulate(c, &rep);
+  EXPECT_GT(rep.parts, 1u);
+}
+
+TEST(Facade, PlanExposesPartitioning) {
+  RunOptions opt;
+  opt.limit = 4;
+  opt.strategy = partition::Strategy::Nat;
+  const Circuit c = circuits::bv(9);
+  const auto plan = HiSvSim(opt).plan(c);
+  EXPECT_LE(plan.max_working_set(), 4u);
+  const dag::CircuitDag d(c);
+  partition::validate(d, plan);
+}
+
+TEST(Facade, MultiLevelMatchesFlat) {
+  RunOptions opt;
+  opt.limit = 5;
+  opt.level2_limit = 3;
+  const Circuit c = circuits::qaoa(8, 2, 4);
+  RunReport rep;
+  const auto state = HiSvSim(opt).simulate(c, &rep);
+  const auto flat = sv::FlatSimulator().simulate(c);
+  EXPECT_LT(state.max_abs_diff(flat), 1e-10);
+  EXPECT_GE(rep.inner_parts, rep.parts);
+}
+
+TEST(Facade, DistributedMatchesFlat) {
+  RunOptions opt;
+  opt.process_qubits = 2;
+  const Circuit c = circuits::ising(8, 2, 9);
+  RunReport rep;
+  const auto state = HiSvSim(opt).simulate_distributed(c, &rep);
+  const auto flat = sv::FlatSimulator().simulate(c);
+  EXPECT_LT(state.max_abs_diff(flat), 1e-10);
+  EXPECT_TRUE(rep.distributed);
+  EXPECT_EQ(rep.dist.ranks, 4u);
+}
+
+TEST(Facade, DistributedRequiresProcessQubits) {
+  const Circuit c = circuits::bv(6);
+  EXPECT_THROW(HiSvSim().simulate_distributed(c), Error);
+}
+
+TEST(Facade, StrategiesAllAgree) {
+  const Circuit c = circuits::cc(9);
+  sv::StateVector ref = sv::FlatSimulator().simulate(c);
+  for (auto s : {partition::Strategy::Nat, partition::Strategy::Dfs,
+                 partition::Strategy::DagP}) {
+    RunOptions opt;
+    opt.strategy = s;
+    opt.limit = 5;
+    const auto state = HiSvSim(opt).simulate(c);
+    EXPECT_LT(state.max_abs_diff(ref), 1e-10) << partition::strategy_name(s);
+  }
+}
+
+}  // namespace
+}  // namespace hisim

@@ -1,0 +1,150 @@
+#include "circuit/gate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hisim {
+namespace {
+
+/// Every gate kind with a representative instance.
+std::vector<Gate> representative_gates() {
+  return {
+      Gate::i(0),        Gate::x(0),         Gate::y(0),
+      Gate::z(0),        Gate::h(0),         Gate::s(0),
+      Gate::sdg(0),      Gate::t(0),         Gate::tdg(0),
+      Gate::sx(0),       Gate::rx(0, 0.7),   Gate::ry(0, 1.1),
+      Gate::rz(0, -0.4), Gate::p(0, 2.2),    Gate::u2(0, 0.3, 0.9),
+      Gate::u3(0, 1.0, 0.5, -0.8),
+      Gate::cx(0, 1),    Gate::cy(0, 1),     Gate::cz(0, 1),
+      Gate::ch(0, 1),    Gate::crx(0, 1, 0.6), Gate::cry(0, 1, -1.2),
+      Gate::crz(0, 1, 0.35), Gate::cp(0, 1, 1.7),
+      Gate::cu3(0, 1, 0.4, 0.2, -0.6),
+      Gate::swap(0, 1),  Gate::rzz(0, 1, 0.8), Gate::rxx(0, 1, -0.5),
+      Gate::ccx(0, 1, 2), Gate::cswap(0, 1, 2),
+      Gate::mcx({0, 1, 2, 3}),
+  };
+}
+
+class GateUnitarity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GateUnitarity, MatrixIsUnitary) {
+  const Gate g = representative_gates()[GetParam()];
+  EXPECT_TRUE(g.matrix().is_unitary(1e-10)) << g.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, GateUnitarity,
+                         ::testing::Range<std::size_t>(
+                             0, representative_gates().size()));
+
+TEST(Gate, XMatrix) {
+  const Matrix m = Gate::x(0).matrix();
+  EXPECT_EQ(m(0, 1), cplx(1.0));
+  EXPECT_EQ(m(1, 0), cplx(1.0));
+  EXPECT_EQ(m(0, 0), cplx(0.0));
+}
+
+TEST(Gate, HMatrix) {
+  const Matrix m = Gate::h(0).matrix();
+  const double s = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(std::abs(m(1, 1) + s), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(m(0, 0) - s), 0.0, 1e-12);
+}
+
+TEST(Gate, CxMatrixConvention) {
+  // qubits [control=bit0, target=bit1]: |01> (idx 1: c=1,t=0) -> |11> (3).
+  const Matrix m = Gate::cx(0, 1).matrix();
+  EXPECT_EQ(m(3, 1), cplx(1.0));
+  EXPECT_EQ(m(1, 3), cplx(1.0));
+  EXPECT_EQ(m(0, 0), cplx(1.0));
+  EXPECT_EQ(m(2, 2), cplx(1.0));
+  EXPECT_EQ(m(1, 1), cplx(0.0));
+}
+
+TEST(Gate, CcxOnlyFlipsWithBothControls) {
+  const Matrix m = Gate::ccx(0, 1, 2).matrix();
+  // idx 3 = controls set, target 0 -> idx 7.
+  EXPECT_EQ(m(7, 3), cplx(1.0));
+  EXPECT_EQ(m(3, 7), cplx(1.0));
+  for (std::size_t i : {0u, 1u, 2u, 4u, 5u, 6u}) EXPECT_EQ(m(i, i), cplx(1.0));
+}
+
+TEST(Gate, RzzDiagonalPhases) {
+  const double th = 0.8;
+  const Matrix m = Gate::rzz(0, 1, th).matrix();
+  EXPECT_NEAR(std::arg(m(0, 0)), -th / 2, 1e-12);
+  EXPECT_NEAR(std::arg(m(1, 1)), th / 2, 1e-12);
+  EXPECT_NEAR(std::arg(m(2, 2)), th / 2, 1e-12);
+  EXPECT_NEAR(std::arg(m(3, 3)), -th / 2, 1e-12);
+}
+
+TEST(Gate, RzRotationComposition) {
+  // Rz(a) * Rz(b) == Rz(a+b).
+  const Matrix ab = Gate::rz(0, 0.3).matrix() * Gate::rz(0, 0.9).matrix();
+  EXPECT_LT(ab.max_abs_diff(Gate::rz(0, 1.2).matrix()), 1e-12);
+}
+
+TEST(Gate, SIsSqrtZ) {
+  const Matrix s2 = Gate::s(0).matrix() * Gate::s(0).matrix();
+  EXPECT_LT(s2.max_abs_diff(Gate::z(0).matrix()), 1e-12);
+}
+
+TEST(Gate, TIsSqrtS) {
+  const Matrix t2 = Gate::t(0).matrix() * Gate::t(0).matrix();
+  EXPECT_LT(t2.max_abs_diff(Gate::s(0).matrix()), 1e-12);
+}
+
+TEST(Gate, SxSquaredIsX) {
+  const Matrix m = Gate::sx(0).matrix() * Gate::sx(0).matrix();
+  EXPECT_LT(m.max_abs_diff(Gate::x(0).matrix()), 1e-12);
+}
+
+TEST(Gate, DiagonalFlagMatchesMatrix) {
+  for (const Gate& g : representative_gates()) {
+    const Matrix m = g.matrix();
+    bool diag = true;
+    for (std::size_t r = 0; r < m.rows(); ++r)
+      for (std::size_t c = 0; c < m.cols(); ++c)
+        if (r != c && std::abs(m(r, c)) > 1e-14) diag = false;
+    if (g.is_diagonal()) {
+      EXPECT_TRUE(diag) << g.to_string();
+    }
+  }
+}
+
+TEST(Gate, NumControls) {
+  EXPECT_EQ(Gate::h(0).num_controls(), 0u);
+  EXPECT_EQ(Gate::cx(0, 1).num_controls(), 1u);
+  EXPECT_EQ(Gate::ccx(0, 1, 2).num_controls(), 2u);
+  EXPECT_EQ(Gate::mcx({0, 1, 2, 3, 4}).num_controls(), 4u);
+  EXPECT_EQ(Gate::swap(0, 1).num_controls(), 0u);
+}
+
+TEST(Gate, DuplicateQubitsRejected) {
+  EXPECT_THROW(Gate::cx(3, 3), Error);
+  EXPECT_THROW(Gate::ccx(1, 2, 1), Error);
+}
+
+TEST(Gate, UnitaryFactoryValidates) {
+  EXPECT_THROW(
+      Gate::unitary({0}, Matrix::from_rows(2, 2, {1.0, 0.0, 0.0, 2.0})), Error);
+  EXPECT_THROW(Gate::unitary({0, 1}, Matrix::identity(2)), Error);
+  const Gate ok = Gate::unitary({0}, Matrix::identity(2));
+  EXPECT_EQ(ok.arity(), 1u);
+}
+
+TEST(Gate, ToStringFormat) {
+  EXPECT_EQ(Gate::cx(0, 3).to_string(), "cx q[0],q[3]");
+  EXPECT_EQ(Gate::rz(2, 0.5).to_string(), "rz(0.5) q[2]");
+}
+
+TEST(Gate, McxMatrixMatchesControlledX) {
+  const Matrix m3 = Gate::mcx({0, 1, 2}).matrix();
+  const Matrix ccx = Gate::ccx(0, 1, 2).matrix();
+  EXPECT_LT(m3.max_abs_diff(ccx), 1e-14);
+}
+
+}  // namespace
+}  // namespace hisim

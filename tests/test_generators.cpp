@@ -1,0 +1,145 @@
+#include "circuits/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sv/simulator.hpp"
+
+namespace hisim::circuits {
+namespace {
+
+TEST(Generators, SuiteHasThirteenEntries) {
+  const auto& suite = qasmbench_suite();
+  ASSERT_EQ(suite.size(), 13u);
+  EXPECT_EQ(suite[0].name, "cat_state");
+  EXPECT_EQ(suite.back().name, "adder37");
+  for (const auto& b : suite) {
+    EXPECT_GE(b.paper_qubits, 30u);
+    EXPECT_GT(b.paper_gates, 0u);
+    EXPECT_GE(b.default_qubits, 10u);
+  }
+}
+
+TEST(Generators, AllBuildAtDefaultSizeAndUseAllQubits) {
+  for (const auto& b : qasmbench_suite()) {
+    const Circuit c = b.make(12);
+    EXPECT_EQ(c.num_qubits(), 12u) << b.name;
+    EXPECT_GT(c.num_gates(), 0u) << b.name;
+    EXPECT_GE(c.used_qubits(), 11u) << b.name;  // adder may idle one qubit
+  }
+}
+
+TEST(Generators, MakeByNameMatchesFactory) {
+  const Circuit a = make_by_name("bv", 10);
+  EXPECT_EQ(a.name(), "bv");
+  EXPECT_EQ(a.num_qubits(), 10u);
+  EXPECT_THROW(make_by_name("nope", 10), Error);
+}
+
+TEST(CatState, ProducesGhz) {
+  const auto s = sv::FlatSimulator().simulate(cat_state(5));
+  const double r = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(std::abs(s[0] - r), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(s[31] - r), 0.0, 1e-12);
+  double other = 0;
+  for (Index i = 1; i < 31; ++i) other += std::norm(s[i]);
+  EXPECT_NEAR(other, 0.0, 1e-12);
+}
+
+TEST(Bv, RecoversSecret) {
+  const std::uint64_t secret = 0b101101;
+  const unsigned n = 8;  // 7 data qubits + ancilla
+  const auto s = sv::FlatSimulator().simulate(bv(n, secret));
+  // Data register must be exactly |secret> (ancilla in |-> superposition).
+  for (Qubit q = 0; q + 1 < n; ++q) {
+    const double expect = ((secret >> q) & 1u) ? 1.0 : 0.0;
+    EXPECT_NEAR(s.prob_one(q), expect, 1e-10) << "qubit " << q;
+  }
+}
+
+TEST(Qft, OnGroundStateIsUniform) {
+  const auto s = sv::FlatSimulator().simulate(qft(5));
+  const double amp = 1.0 / std::sqrt(32.0);
+  for (Index i = 0; i < s.size(); ++i)
+    EXPECT_NEAR(std::abs(s[i]), amp, 1e-10);
+}
+
+TEST(Grover, AmplifiesMarkedState) {
+  const unsigned n = 6;  // 5 search qubits + ancilla
+  const std::uint64_t marked = 0b10110;
+  // Optimal iterations ~ pi/4 * sqrt(32) ~ 4.
+  const auto s = sv::FlatSimulator().simulate(grover(n, 4, marked));
+  // P(search register == marked), summed over the ancilla qubit.
+  double p_marked = 0.0;
+  for (Index anc = 0; anc < 2; ++anc)
+    p_marked += std::norm(s[(anc << 5) | marked]);
+  EXPECT_GT(p_marked, 0.9);
+}
+
+TEST(Qpe, EstimatesPhase) {
+  // phi = 3/16 is exactly representable with 4 counting qubits.
+  const unsigned n = 5;
+  const double phi = 3.0 / 16.0;
+  const auto s = sv::FlatSimulator().simulate(qpe(n, phi));
+  // Counting register must be |3> read in reversed bit order: the iqft here
+  // leaves the estimate bit-reversed across qubits [0, 4).
+  double best_p = 0.0;
+  Index best = 0;
+  for (Index i = 0; i < s.size(); ++i)
+    if (std::norm(s[i]) > best_p) {
+      best_p = std::norm(s[i]);
+      best = i;
+    }
+  EXPECT_GT(best_p, 0.8);
+  // Extract counting bits (qubit 4 is the eigenstate qubit, must be 1).
+  EXPECT_EQ((best >> 4) & 1u, 1u);
+  // Reversed counting value: bit j of estimate = qubit (t-1-j).
+  Index est = 0;
+  for (unsigned j = 0; j < 4; ++j)
+    if ((best >> (3 - j)) & 1u) est |= Index{1} << j;
+  EXPECT_EQ(est, 3u);
+}
+
+TEST(Adder, AddsCorrectly) {
+  // n=10 -> m=4 bits per addend.
+  const std::uint64_t a = 0b0101, b = 0b0110;  // 5 + 6 = 11
+  const auto s = sv::FlatSimulator().simulate(adder(10, a, b));
+  // Find the single basis state.
+  Index best = 0;
+  double best_p = 0;
+  for (Index i = 0; i < s.size(); ++i)
+    if (std::norm(s[i]) > best_p) {
+      best_p = std::norm(s[i]);
+      best = i;
+    }
+  EXPECT_NEAR(best_p, 1.0, 1e-9);
+  // Layout: cin=q0, a=q1..q4, b=q5..q8, cout=q9; b holds the sum.
+  const Index sum = (best >> 5) & 0xF;
+  const Index cout = (best >> 9) & 1;
+  EXPECT_EQ(sum | (cout << 4), a + b);
+  // a register preserved.
+  EXPECT_EQ((best >> 1) & 0xF, a);
+}
+
+TEST(Ising, NormalizedAndEntangling) {
+  const auto s = sv::FlatSimulator().simulate(ising(6, 2, 3));
+  EXPECT_NEAR(s.norm(), 1.0, 1e-10);
+}
+
+TEST(Qaoa, DeterministicForSeed) {
+  const Circuit a = qaoa(8, 2, 5), b = qaoa(8, 2, 5);
+  EXPECT_TRUE(a == b);
+  const Circuit c = qaoa(8, 2, 6);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Generators, GateCountsScaleWithPaperShapes) {
+  // qft is quadratic, bv/cat linear, qaoa ~ rounds * edges.
+  EXPECT_GT(qft(20).num_gates(), qft(10).num_gates() * 3);
+  EXPECT_LT(bv(20).num_gates(), 4 * 20u);
+  EXPECT_GT(qpe(12).num_gates(), qft(11).num_gates());
+}
+
+}  // namespace
+}  // namespace hisim::circuits

@@ -1,0 +1,112 @@
+#include "sv/hierarchical.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/generators.hpp"
+#include "sv/kernels.hpp"
+#include "sv/simulator.hpp"
+
+namespace hisim::sv {
+namespace {
+
+struct Case {
+  std::string name;
+  unsigned qubits;
+  unsigned limit;
+  partition::Strategy strategy;
+};
+
+class HierarchicalMatchesFlat : public ::testing::TestWithParam<Case> {};
+
+TEST_P(HierarchicalMatchesFlat, SameAmplitudes) {
+  const Case& tc = GetParam();
+  const Circuit c = circuits::make_by_name(tc.name, tc.qubits);
+  const dag::CircuitDag d(c);
+  partition::PartitionOptions opt;
+  opt.limit = tc.limit;
+  opt.strategy = tc.strategy;
+  const partition::Partitioning parts = partition::make_partition(d, opt);
+  partition::validate(d, parts);
+
+  const StateVector flat = FlatSimulator().simulate(c);
+  HierarchicalStats stats;
+  const StateVector hier = HierarchicalSimulator().simulate(c, parts, &stats);
+  EXPECT_LT(hier.max_abs_diff(flat), 1e-10)
+      << tc.name << " " << partition::strategy_name(tc.strategy);
+  EXPECT_EQ(stats.parts, parts.num_parts());
+  EXPECT_GT(stats.outer_bytes_moved, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, HierarchicalMatchesFlat,
+    ::testing::Values(
+        Case{"bv", 9, 4, partition::Strategy::Nat},
+        Case{"bv", 9, 4, partition::Strategy::Dfs},
+        Case{"bv", 9, 4, partition::Strategy::DagP},
+        Case{"cat_state", 8, 3, partition::Strategy::DagP},
+        Case{"qft", 7, 4, partition::Strategy::DagP},
+        Case{"qft", 7, 4, partition::Strategy::Nat},
+        Case{"ising", 9, 5, partition::Strategy::DagP},
+        Case{"qaoa", 8, 5, partition::Strategy::DagP},
+        Case{"cc", 9, 5, partition::Strategy::Dfs},
+        Case{"qnn", 8, 4, partition::Strategy::DagP},
+        Case{"qpe", 8, 5, partition::Strategy::DagP},
+        Case{"grover", 7, 7, partition::Strategy::DagP},
+        Case{"adder37", 10, 6, partition::Strategy::DagP}),
+    [](const auto& info) {
+      return info.param.name + "_L" + std::to_string(info.param.limit) + "_" +
+             partition::strategy_name(info.param.strategy);
+    });
+
+TEST(Hierarchical, SinglePartEqualsFlat) {
+  const Circuit c = circuits::qft(6);
+  const dag::CircuitDag d(c);
+  const partition::Partitioning p = partition::partition_nat(d, 6);
+  ASSERT_EQ(p.num_parts(), 1u);
+  const StateVector flat = FlatSimulator().simulate(c);
+  const StateVector hier = HierarchicalSimulator().simulate(c, p);
+  EXPECT_LT(hier.max_abs_diff(flat), 1e-12);
+}
+
+TEST(Hierarchical, RunPartSweepsWholeOuter) {
+  // A part acting on a strict qubit subset must leave other-qubit marginals
+  // intact.
+  Circuit c(5);
+  c.add(Gate::h(1));
+  c.add(Gate::cx(1, 3));
+  const dag::CircuitDag d(c);
+  const partition::Partitioning p = partition::partition_nat(d, 2);
+  StateVector state(5);
+  apply_gate(state, Gate::x(4));  // pre-set qubit 4
+  HierarchicalStats stats;
+  for (const auto& part : p.parts)
+    run_part(c, part.gates, part.qubits, state, stats);
+  EXPECT_NEAR(state.prob_one(4), 1.0, 1e-12);
+  EXPECT_NEAR(state.prob_one(1), 0.5, 1e-12);
+  EXPECT_NEAR(state.prob_one(3), 0.5, 1e-12);
+}
+
+TEST(Hierarchical, StatsTrafficScalesWithParts) {
+  const Circuit c = circuits::ising(10, 3, 2);
+  const dag::CircuitDag d(c);
+  const partition::Partitioning coarse = partition::partition_nat(d, 10);
+  const partition::Partitioning fine = partition::partition_nat(d, 3);
+  StateVector s1(10), s2(10);
+  const auto st1 = HierarchicalSimulator().run(c, coarse, s1);
+  const auto st2 = HierarchicalSimulator().run(c, fine, s2);
+  EXPECT_GT(st2.parts, st1.parts);
+  EXPECT_GT(st2.outer_bytes_moved, st1.outer_bytes_moved);
+  EXPECT_LT(s1.max_abs_diff(s2), 1e-10);
+}
+
+TEST(Hierarchical, FlopsAccounted) {
+  const Circuit c = circuits::bv(8);
+  const dag::CircuitDag d(c);
+  const partition::Partitioning p = partition::partition_nat(d, 4);
+  StateVector s(8);
+  const auto stats = HierarchicalSimulator().run(c, p, s);
+  EXPECT_GT(stats.flops, 0.0);
+}
+
+}  // namespace
+}  // namespace hisim::sv

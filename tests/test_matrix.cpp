@@ -1,0 +1,65 @@
+#include "circuit/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hisim {
+namespace {
+
+TEST(Matrix, IdentityMultiplication) {
+  const Matrix i2 = Matrix::identity(2);
+  const Matrix m = Matrix::from_rows(2, 2, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ((i2 * m).max_abs_diff(m), 0.0);
+  EXPECT_EQ((m * i2).max_abs_diff(m), 0.0);
+}
+
+TEST(Matrix, MultiplyKnownProduct) {
+  const Matrix a = Matrix::from_rows(2, 2, {1.0, 2.0, 3.0, 4.0});
+  const Matrix b = Matrix::from_rows(2, 2, {5.0, 6.0, 7.0, 8.0});
+  const Matrix expect = Matrix::from_rows(2, 2, {19.0, 22.0, 43.0, 50.0});
+  EXPECT_LT((a * b).max_abs_diff(expect), 1e-12);
+}
+
+TEST(Matrix, AdjointConjugatesAndTransposes) {
+  const Matrix m =
+      Matrix::from_rows(2, 2, {cplx(1, 2), cplx(3, 4), cplx(5, 6), cplx(7, 8)});
+  const Matrix a = m.adjoint();
+  EXPECT_EQ(a(0, 1), cplx(5, -6));
+  EXPECT_EQ(a(1, 0), cplx(3, -4));
+}
+
+TEST(Matrix, KroneckerDims) {
+  const Matrix a = Matrix::identity(2);
+  const Matrix b = Matrix::identity(4);
+  const Matrix k = a.kron(b);
+  EXPECT_EQ(k.rows(), 8u);
+  EXPECT_LT(k.max_abs_diff(Matrix::identity(8)), 1e-15);
+}
+
+TEST(Matrix, KroneckerStructure) {
+  const Matrix x = Matrix::from_rows(2, 2, {0.0, 1.0, 1.0, 0.0});
+  const Matrix z = Matrix::from_rows(2, 2, {1.0, 0.0, 0.0, -1.0});
+  const Matrix k = x.kron(z);
+  EXPECT_EQ(k(0, 2), cplx(1.0));
+  EXPECT_EQ(k(1, 3), cplx(-1.0));
+  EXPECT_EQ(k(0, 0), cplx(0.0));
+}
+
+TEST(Matrix, UnitarityCheck) {
+  EXPECT_TRUE(Matrix::identity(4).is_unitary());
+  const double s = 1.0 / std::sqrt(2.0);
+  const Matrix h = Matrix::from_rows(2, 2, {s, s, s, -s});
+  EXPECT_TRUE(h.is_unitary());
+  const Matrix bad = Matrix::from_rows(2, 2, {1.0, 0.0, 0.0, 2.0});
+  EXPECT_FALSE(bad.is_unitary());
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  const Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW(a * b, Error);
+  EXPECT_THROW(a.max_abs_diff(Matrix(3, 2)), Error);
+}
+
+}  // namespace
+}  // namespace hisim

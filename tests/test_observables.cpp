@@ -1,0 +1,143 @@
+#include "sv/observables.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "circuits/generators.hpp"
+#include "common/error.hpp"
+#include "sv/kernels.hpp"
+#include "sv/simulator.hpp"
+
+namespace hisim::sv {
+namespace {
+
+TEST(PauliParse, IndexedForm) {
+  const PauliString p = PauliString::parse("Z0*Z3");
+  ASSERT_EQ(p.factors.size(), 2u);
+  EXPECT_EQ(p.factors[0].first, 0u);
+  EXPECT_EQ(p.factors[0].second, Pauli::Z);
+  EXPECT_EQ(p.factors[1].first, 3u);
+  EXPECT_EQ(p.to_string(), "Z0*Z3");
+}
+
+TEST(PauliParse, DenseForm) {
+  const PauliString p = PauliString::parse("XIZ");
+  ASSERT_EQ(p.factors.size(), 2u);
+  EXPECT_EQ(p.factors[0].first, 0u);
+  EXPECT_EQ(p.factors[0].second, Pauli::X);
+  EXPECT_EQ(p.factors[1].first, 2u);
+  EXPECT_EQ(p.factors[1].second, Pauli::Z);
+}
+
+TEST(PauliParse, Rejects) {
+  EXPECT_THROW(PauliString::parse("Q0"), Error);
+  EXPECT_THROW(PauliString::parse("Z0*Z0"), Error);
+}
+
+TEST(Expectation, GroundStateZ) {
+  StateVector s(3);
+  EXPECT_NEAR(expectation(s, PauliString::parse("Z0")), 1.0, 1e-12);
+  EXPECT_NEAR(expectation(s, PauliString::parse("Z0*Z1*Z2")), 1.0, 1e-12);
+  EXPECT_NEAR(expectation(s, PauliString::parse("X0")), 0.0, 1e-12);
+}
+
+TEST(Expectation, PlusStateX) {
+  StateVector s(2);
+  apply_gate(s, Gate::h(0));
+  EXPECT_NEAR(expectation(s, PauliString::parse("X0")), 1.0, 1e-12);
+  EXPECT_NEAR(expectation(s, PauliString::parse("Z0")), 0.0, 1e-12);
+}
+
+TEST(Expectation, BellCorrelations) {
+  StateVector s(2);
+  apply_gate(s, Gate::h(0));
+  apply_gate(s, Gate::cx(0, 1));
+  EXPECT_NEAR(expectation(s, PauliString::parse("Z0*Z1")), 1.0, 1e-12);
+  EXPECT_NEAR(expectation(s, PauliString::parse("X0*X1")), 1.0, 1e-12);
+  EXPECT_NEAR(expectation(s, PauliString::parse("Y0*Y1")), -1.0, 1e-12);
+  EXPECT_NEAR(expectation(s, PauliString::parse("Z0")), 0.0, 1e-12);
+}
+
+TEST(Expectation, YEigenstate) {
+  // (|0> + i|1>)/sqrt(2) is the +1 eigenstate of Y.
+  StateVector s(1);
+  apply_gate(s, Gate::h(0));
+  apply_gate(s, Gate::s(0));
+  EXPECT_NEAR(expectation(s, PauliString::parse("Y0")), 1.0, 1e-12);
+}
+
+TEST(Expectation, HamiltonianSum) {
+  StateVector s(2);
+  apply_gate(s, Gate::h(0));
+  apply_gate(s, Gate::cx(0, 1));
+  const std::vector<std::pair<double, PauliString>> ham = {
+      {0.5, PauliString::parse("Z0*Z1")},
+      {-2.0, PauliString::parse("X0*X1")},
+  };
+  EXPECT_NEAR(expectation(s, ham), 0.5 - 2.0, 1e-12);
+}
+
+TEST(Marginals, BellPairs) {
+  StateVector s(3);
+  apply_gate(s, Gate::h(0));
+  apply_gate(s, Gate::cx(0, 2));
+  const auto probs = marginal_probabilities(s, {0, 2});
+  ASSERT_EQ(probs.size(), 4u);
+  EXPECT_NEAR(probs[0], 0.5, 1e-12);   // |00>
+  EXPECT_NEAR(probs[3], 0.5, 1e-12);   // |11>
+  EXPECT_NEAR(probs[1] + probs[2], 0.0, 1e-12);
+}
+
+TEST(Marginals, SumToOne) {
+  const auto s = FlatSimulator().simulate(circuits::qft(6));
+  const auto probs = marginal_probabilities(s, {1, 3, 5});
+  double sum = 0;
+  for (double pr : probs) sum += pr;
+  EXPECT_NEAR(sum, 1.0, 1e-10);
+}
+
+TEST(Sampling, DeterministicBasisState) {
+  StateVector s(4);
+  apply_gate(s, Gate::x(1));
+  apply_gate(s, Gate::x(3));
+  Rng rng(5);
+  const auto shots = sample(s, 100, rng);
+  for (Index v : shots) EXPECT_EQ(v, 0b1010u);
+}
+
+TEST(Sampling, UniformDistributionRoughly) {
+  StateVector s(3);
+  for (Qubit q = 0; q < 3; ++q) apply_gate(s, Gate::h(q));
+  Rng rng(17);
+  const auto shots = sample(s, 8000, rng);
+  std::map<Index, int> hist;
+  for (Index v : shots) ++hist[v];
+  ASSERT_EQ(hist.size(), 8u);
+  for (const auto& [v, count] : hist) {
+    EXPECT_GT(count, 800) << v;   // expect ~1000 each
+    EXPECT_LT(count, 1200) << v;
+  }
+}
+
+TEST(Sampling, SeedReproducible) {
+  const auto s = FlatSimulator().simulate(circuits::qaoa(6, 2, 3));
+  Rng a(42), b(42);
+  EXPECT_EQ(sample(s, 50, a), sample(s, 50, b));
+}
+
+TEST(Sampling, MatchesBornRule) {
+  StateVector s(1);
+  apply_gate(s, Gate::ry(0, 2.0 * std::acos(std::sqrt(0.8))));
+  // P(0) = 0.8.
+  Rng rng(3);
+  const auto shots = sample(s, 10000, rng);
+  const double p0 =
+      static_cast<double>(std::count(shots.begin(), shots.end(), Index{0})) /
+      10000.0;
+  EXPECT_NEAR(p0, 0.8, 0.02);
+}
+
+}  // namespace
+}  // namespace hisim::sv

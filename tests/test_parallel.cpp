@@ -1,0 +1,119 @@
+#include "common/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+
+namespace hisim::parallel {
+namespace {
+
+TEST(Parallel, CoversRangeExactlyOnce) {
+  for (unsigned workers : {1u, 2u, 4u}) {
+    set_num_threads(workers);
+    std::vector<std::atomic<int>> hits(10000);
+    for_range(0, hits.size(),
+              [&](Index lo, Index hi) {
+                for (Index i = lo; i < hi; ++i) hits[i].fetch_add(1);
+              },
+              /*grain=*/64);
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+  set_num_threads(0);
+}
+
+TEST(Parallel, EmptyAndTinyRanges) {
+  set_num_threads(4);
+  bool called = false;
+  for_range(5, 5, [&](Index, Index) { called = true; });
+  EXPECT_FALSE(called);
+  std::atomic<Index> sum{0};
+  for_range(0, 3, [&](Index lo, Index hi) {
+    for (Index i = lo; i < hi; ++i) sum += i;
+  });
+  EXPECT_EQ(sum.load(), 3u);
+  set_num_threads(0);
+}
+
+TEST(Parallel, SumMatchesSerial) {
+  set_num_threads(3);
+  const Index n = 1 << 16;
+  std::atomic<long long> total{0};
+  for_range(0, n,
+            [&](Index lo, Index hi) {
+              long long local = 0;
+              for (Index i = lo; i < hi; ++i) local += static_cast<long long>(i);
+              total += local;
+            },
+            1 << 8);
+  EXPECT_EQ(total.load(), static_cast<long long>(n) * (n - 1) / 2);
+  set_num_threads(0);
+}
+
+TEST(Parallel, ReentrantAcrossWidthChanges) {
+  // Switching widths rebuilds the pool; results must stay exact.
+  for (unsigned w : {2u, 1u, 4u, 2u}) {
+    set_num_threads(w);
+    std::atomic<Index> count{0};
+    for_range(0, 1000, [&](Index lo, Index hi) { count += hi - lo; }, 16);
+    EXPECT_EQ(count.load(), 1000u);
+  }
+  set_num_threads(0);
+}
+
+TEST(Rng, DeterministicStreams) {
+  Rng a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+  bool differs = false;
+  Rng a2(7);
+  for (int i = 0; i < 10; ++i) differs |= a2.next() != c.next();
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(123);
+  std::vector<int> hist(8, 0);
+  for (int i = 0; i < 8000; ++i) ++hist[rng.below(8)];
+  for (int h : hist) {
+    EXPECT_GT(h, 800);
+    EXPECT_LT(h, 1200);
+  }
+}
+
+TEST(Timers, StopwatchAccumulates) {
+  Stopwatch sw;
+  sw.start();
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x += i;
+  sw.stop();
+  const double first = sw.seconds();
+  EXPECT_GT(first, 0.0);
+  sw.start();
+  for (int i = 0; i < 100000; ++i) x += i;
+  sw.stop();
+  EXPECT_GT(sw.seconds(), first);
+  sw.clear();
+  EXPECT_EQ(sw.seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace hisim::parallel

@@ -1,0 +1,124 @@
+#include "partition/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/generators.hpp"
+#include "common/error.hpp"
+
+namespace hisim::partition {
+namespace {
+
+TEST(SegmentOrder, GreedyCutoffRespectsLimit) {
+  const Circuit c = circuits::bv(8);
+  const dag::CircuitDag d(c);
+  const Partitioning p = segment_order(d, d.natural_order(), 4);
+  validate(d, p);
+  EXPECT_LE(p.max_working_set(), 4u);
+}
+
+TEST(SegmentOrder, LimitEqualWidthGivesOnePart) {
+  const Circuit c = circuits::qft(6);
+  const dag::CircuitDag d(c);
+  const Partitioning p = segment_order(d, d.natural_order(), 6);
+  EXPECT_EQ(p.num_parts(), 1u);
+  validate(d, p);
+}
+
+TEST(Nat, MatchesPaperToyExample) {
+  // Fig. 4: bv with 6 qubits, limit 4 -> Nat yields more parts than dagP.
+  const Circuit c = circuits::bv(6, /*secret=*/0b11111);
+  const dag::CircuitDag d(c);
+  const Partitioning nat = partition_nat(d, 4);
+  validate(d, nat);
+  PartitionOptions opt;
+  opt.limit = 4;
+  const Partitioning dagp = partition_dagp(d, opt);
+  validate(d, dagp);
+  EXPECT_LE(dagp.num_parts(), nat.num_parts());
+}
+
+TEST(Dfs, NeverWorseThanWorstTrial) {
+  const Circuit c = circuits::qaoa(8, 2, 5);
+  const dag::CircuitDag d(c);
+  const Partitioning p = partition_dfs(d, 5, 8, 1234);
+  validate(d, p);
+}
+
+TEST(Dfs, DeterministicForFixedSeed) {
+  const Circuit c = circuits::ising(8, 2, 3);
+  const dag::CircuitDag d(c);
+  const Partitioning a = partition_dfs(d, 4, 8, 42);
+  const Partitioning b = partition_dfs(d, 4, 8, 42);
+  EXPECT_EQ(a.part_of, b.part_of);
+}
+
+TEST(MakePartition, RejectsTooWideGates) {
+  Circuit c(5);
+  c.add(Gate::mcx({0, 1, 2, 3, 4}));
+  const dag::CircuitDag d(c);
+  PartitionOptions opt;
+  opt.limit = 4;
+  opt.strategy = Strategy::Nat;
+  EXPECT_THROW(make_partition(d, opt), Error);
+}
+
+TEST(MakePartition, AllStrategiesValidateOnSuite) {
+  for (const auto& bench : circuits::qasmbench_suite()) {
+    const Circuit c = bench.make(10);
+    const dag::CircuitDag d(c);
+    unsigned max_arity = 1;
+    for (const Gate& g : c.gates())
+      max_arity = std::max(max_arity, g.arity());
+    const unsigned limit = std::max(9u, max_arity);
+    for (Strategy s : {Strategy::Nat, Strategy::Dfs, Strategy::DagP}) {
+      PartitionOptions opt;
+      opt.limit = limit;
+      opt.strategy = s;
+      const Partitioning p = make_partition(d, opt);
+      validate(d, p);
+      EXPECT_LE(p.max_working_set(), limit) << bench.name << strategy_name(s);
+    }
+  }
+}
+
+TEST(Validate, CatchesWorkingSetViolation) {
+  const Circuit c = circuits::qft(5);
+  const dag::CircuitDag d(c);
+  Partitioning p = partition_nat(d, 5);
+  p.limit = 2;  // pretend a tighter limit
+  EXPECT_THROW(validate(d, p), Error);
+}
+
+TEST(Validate, CatchesMissingGate) {
+  const Circuit c = circuits::cat_state(4);
+  const dag::CircuitDag d(c);
+  Partitioning p = partition_nat(d, 4);
+  p.parts[0].gates.pop_back();
+  EXPECT_THROW(validate(d, p), Error);
+}
+
+TEST(Validate, CatchesBadPartOrder) {
+  Circuit c(2);
+  c.add(Gate::h(0));
+  c.add(Gate::cx(0, 1));
+  const dag::CircuitDag d(c);
+  Partitioning p;
+  p.limit = 2;
+  p.parts.resize(2);
+  p.parts[0].gates = {1};
+  p.parts[0].qubits = {0, 1};
+  p.parts[1].gates = {0};
+  p.parts[1].qubits = {0};
+  p.part_of = {1, 0};
+  EXPECT_THROW(validate(d, p), Error);
+}
+
+TEST(Partitioning, SummaryMentionsParts) {
+  const Circuit c = circuits::bv(8);
+  const dag::CircuitDag d(c);
+  const Partitioning p = partition_nat(d, 4);
+  EXPECT_NE(p.summary().find("parts"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hisim::partition

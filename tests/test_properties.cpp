@@ -1,0 +1,142 @@
+// Property-based sweeps: random circuits through every simulation path
+// must agree with the flat reference, and every partitioner must emit
+// valid acyclic partitionings for arbitrary (seeded) inputs.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "dist/hisvsim_dist.hpp"
+#include "dist/iqs_baseline.hpp"
+#include "hisvsim/hisvsim.hpp"
+#include "partition/exact.hpp"
+#include "sv/hierarchical.hpp"
+#include "sv/simulator.hpp"
+
+namespace hisim {
+namespace {
+
+/// Random circuit over a mixed gate alphabet.
+Circuit random_circuit(unsigned n, std::size_t gates, std::uint64_t seed) {
+  Rng rng(seed);
+  Circuit c(n, "random");
+  for (std::size_t i = 0; i < gates; ++i) {
+    const Qubit a = static_cast<Qubit>(rng.below(n));
+    Qubit b = static_cast<Qubit>(rng.below(n));
+    while (b == a) b = static_cast<Qubit>(rng.below(n));
+    Qubit d = static_cast<Qubit>(rng.below(n));
+    while (d == a || d == b) d = static_cast<Qubit>(rng.below(n));
+    switch (rng.below(12)) {
+      case 0: c.add(Gate::h(a)); break;
+      case 1: c.add(Gate::x(a)); break;
+      case 2: c.add(Gate::rx(a, rng.uniform(0, 3.1))); break;
+      case 3: c.add(Gate::rz(a, rng.uniform(-3.1, 3.1))); break;
+      case 4: c.add(Gate::u3(a, rng.uniform(0, 3), rng.uniform(0, 3),
+                             rng.uniform(0, 3))); break;
+      case 5: c.add(Gate::cx(a, b)); break;
+      case 6: c.add(Gate::cz(a, b)); break;
+      case 7: c.add(Gate::cp(a, b, rng.uniform(-3, 3))); break;
+      case 8: c.add(Gate::swap(a, b)); break;
+      case 9: c.add(Gate::rzz(a, b, rng.uniform(-3, 3))); break;
+      case 10: c.add(Gate::ccx(a, b, d)); break;
+      case 11: c.add(Gate::cswap(a, b, d)); break;
+    }
+  }
+  return c;
+}
+
+class RandomCircuits : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomCircuits, AllPathsAgree) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed * 77 + 1);
+  const unsigned n = 5 + static_cast<unsigned>(rng.below(4));       // 5..8
+  const std::size_t gates = 20 + rng.below(60);
+  const Circuit c = random_circuit(n, gates, seed);
+  const sv::StateVector ref = sv::FlatSimulator().simulate(c);
+
+  const dag::CircuitDag d(c);
+  const unsigned limit = 3 + static_cast<unsigned>(rng.below(n - 3));
+
+  for (auto s : {partition::Strategy::Nat, partition::Strategy::Dfs,
+                 partition::Strategy::DagP}) {
+    partition::PartitionOptions opt;
+    opt.limit = limit;
+    opt.strategy = s;
+    opt.seed = seed;
+    const auto parts = partition::make_partition(d, opt);
+    partition::validate(d, parts);
+    const auto state = sv::HierarchicalSimulator().simulate(c, parts);
+    EXPECT_LT(state.max_abs_diff(ref), 1e-9)
+        << "seed " << seed << " " << partition::strategy_name(s) << " limit "
+        << limit;
+  }
+
+  // Distributed HiSVSIM and the IQS baseline must agree with flat too.
+  const unsigned p = 1 + static_cast<unsigned>(rng.below(2));
+  {
+    dist::DistState state(n, p);
+    dist::DistributedHiSvSim::Options opt;
+    opt.process_qubits = p;
+    opt.part.seed = seed;
+    dist::DistributedHiSvSim().run(c, opt, state);
+    EXPECT_LT(state.to_state_vector().max_abs_diff(ref), 1e-9)
+        << "dist seed " << seed;
+  }
+  {
+    dist::DistState state(n, p);
+    dist::IqsBaselineSimulator().run(c, state);
+    EXPECT_LT(state.to_state_vector().max_abs_diff(ref), 1e-9)
+        << "iqs seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomCircuits,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+class RandomPartitions : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomPartitions, ExactNeverWorseThanHeuristics) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed * 31 + 7);
+  const unsigned n = 4 + static_cast<unsigned>(rng.below(3));
+  const Circuit c = random_circuit(n, 10 + rng.below(15), seed + 99);
+  const dag::CircuitDag d(c);
+  unsigned max_arity = 1;
+  for (const Gate& g : c.gates())
+    max_arity = std::max(max_arity, g.arity());
+  const unsigned limit =
+      std::max(max_arity, 3u) + static_cast<unsigned>(rng.below(2));
+  const auto exact = partition::partition_exact(d, limit, 1u << 18);
+  partition::validate(d, exact.partitioning);
+  for (auto s : {partition::Strategy::Nat, partition::Strategy::Dfs,
+                 partition::Strategy::DagP}) {
+    partition::PartitionOptions opt;
+    opt.limit = limit;
+    opt.strategy = s;
+    opt.seed = seed;
+    const auto parts = partition::make_partition(d, opt);
+    if (exact.proven_optimal)
+      EXPECT_LE(exact.partitioning.num_parts(), parts.num_parts())
+          << "seed " << seed << " vs " << partition::strategy_name(s);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomPartitions,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+TEST(Properties, NormPreservedThroughEveryPath) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Circuit c = random_circuit(6, 40, seed);
+    RunOptions opt;
+    opt.limit = 4;
+    const auto s1 = HiSvSim(opt).simulate(c);
+    EXPECT_NEAR(s1.norm(), 1.0, 1e-9);
+    RunOptions opt2;
+    opt2.process_qubits = 2;
+    const auto s2 = HiSvSim(opt2).simulate_distributed(c);
+    EXPECT_NEAR(s2.norm(), 1.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace hisim

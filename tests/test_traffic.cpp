@@ -1,0 +1,82 @@
+#include "sv/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/generators.hpp"
+
+namespace hisim::sv {
+namespace {
+
+/// A cache config scaled so the test circuits (2^10..2^12 amplitude
+/// vectors) straddle the levels like 30-qubit circuits straddle a real
+/// LLC: L1 holds 2^6 amps, L2 2^8, L3 2^10.
+CacheConfig tiny_cache() {
+  CacheConfig c;
+  c.l1_bytes = (1u << 6) * 16;
+  c.l2_bytes = (1u << 8) * 16;
+  c.l3_bytes = (1u << 10) * 16;
+  return c;
+}
+
+TEST(Traffic, FlatAllDram) {
+  const Circuit c = circuits::bv(12);
+  const auto t = model_flat_traffic(c, tiny_cache());
+  EXPECT_GT(t.bytes[TrafficBreakdown::DRAM], 0.0);
+  EXPECT_EQ(t.bytes[TrafficBreakdown::L1], 0.0);
+  EXPECT_NEAR(t.dram_fraction(), 1.0, 1e-12);
+}
+
+TEST(Traffic, HierarchicalMovesGateTrafficToCache) {
+  const Circuit c = circuits::bv(12);
+  const dag::CircuitDag d(c);
+  const auto parts = partition::partition_nat(d, 6);  // 2^6 amps: L1-sized
+  const auto hier = model_traffic(c, parts, tiny_cache());
+  const auto flat = model_flat_traffic(c, tiny_cache());
+  EXPECT_LT(hier.bytes[TrafficBreakdown::DRAM],
+            flat.bytes[TrafficBreakdown::DRAM]);
+  EXPECT_GT(hier.bytes[TrafficBreakdown::L1], 0.0);
+}
+
+TEST(Traffic, FewerPartsLessDram) {
+  const Circuit c = circuits::ising(12, 3, 2);
+  const dag::CircuitDag d(c);
+  partition::PartitionOptions opt;
+  opt.limit = 6;
+  const auto dagp = partition::partition_dagp(d, opt);
+  const auto nat = partition::partition_nat(d, 6);
+  const auto t_dagp = model_traffic(c, dagp, tiny_cache());
+  const auto t_nat = model_traffic(c, nat, tiny_cache());
+  if (dagp.num_parts() < nat.num_parts()) {
+    EXPECT_LT(t_dagp.bytes[TrafficBreakdown::DRAM],
+              t_nat.bytes[TrafficBreakdown::DRAM]);
+  } else {
+    EXPECT_LE(t_dagp.bytes[TrafficBreakdown::DRAM],
+              t_nat.bytes[TrafficBreakdown::DRAM]);
+  }
+}
+
+TEST(Traffic, PercentagesSumTo100) {
+  const Circuit c = circuits::qft(12);
+  const dag::CircuitDag d(c);
+  const auto parts = partition::partition_nat(d, 8);
+  const auto t = model_traffic(c, parts, tiny_cache());
+  const double sum = t.pct(TrafficBreakdown::L1) + t.pct(TrafficBreakdown::L2) +
+                     t.pct(TrafficBreakdown::L3) +
+                     t.pct(TrafficBreakdown::DRAM);
+  EXPECT_NEAR(sum, 100.0, 1e-9);
+}
+
+TEST(Traffic, InnerLevelFollowsWorkingSet) {
+  // Inner vectors of 2^9 amps belong to L3 in the tiny cache; trailing
+  // parts may be narrower and land in faster levels, but the outer
+  // gather/scatter sweeps always hit DRAM.
+  const Circuit c = circuits::qft(12);
+  const dag::CircuitDag d(c);
+  const auto parts = partition::partition_nat(d, 9);
+  const auto t = model_traffic(c, parts, tiny_cache());
+  EXPECT_GT(t.bytes[TrafficBreakdown::L3], 0.0);
+  EXPECT_GT(t.bytes[TrafficBreakdown::DRAM], 0.0);
+}
+
+}  // namespace
+}  // namespace hisim::sv

@@ -1,0 +1,206 @@
+// hisim — command-line front end to the HiSVSIM library.
+//
+//   hisim run <circuit|file.qasm> [--qubits=N] [--limit=L]
+//         [--strategy=dagp|dfs|nat] [--ranks=P] [--level2=L2]
+//         [--shots=S] [--json]
+//   hisim partition <circuit|file.qasm> [--qubits=N] [--limit=L]
+//         [--strategy=...] [--dot=out.dot] [--exact]
+//   hisim suite                      # list the built-in benchmark suite
+//
+// <circuit> is a suite name (bv, qft, ...) or a path ending in .qasm.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "circuits/generators.hpp"
+#include "hisvsim/hisvsim.hpp"
+#include "partition/exact.hpp"
+#include "qasm/parser.hpp"
+#include "sv/observables.hpp"
+
+namespace {
+
+using namespace hisim;
+
+struct Flags {
+  unsigned qubits = 14;
+  unsigned limit = 0;
+  unsigned ranks_p = 0;
+  unsigned level2 = 0;
+  std::size_t shots = 0;
+  bool json = false;
+  bool exact = false;
+  std::string dot;
+  partition::Strategy strategy = partition::Strategy::DagP;
+};
+
+Flags parse_flags(int argc, char** argv, int first) {
+  Flags f;
+  for (int i = first; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto val = [&](const char* name) -> const char* {
+      const std::size_t n = std::strlen(name);
+      return a.rfind(name, 0) == 0 ? a.c_str() + n : nullptr;
+    };
+    if (const char* v = val("--qubits=")) f.qubits = std::atoi(v);
+    else if (const char* v = val("--limit=")) f.limit = std::atoi(v);
+    else if (const char* v = val("--ranks=")) {
+      const unsigned r = std::atoi(v);
+      unsigned p = 0;
+      while ((1u << p) < r) ++p;
+      f.ranks_p = p;
+    } else if (const char* v = val("--level2=")) f.level2 = std::atoi(v);
+    else if (const char* v = val("--shots=")) f.shots = std::atoi(v);
+    else if (const char* v = val("--dot=")) f.dot = v;
+    else if (const char* v = val("--strategy=")) {
+      const std::string s = v;
+      f.strategy = s == "nat"   ? partition::Strategy::Nat
+                   : s == "dfs" ? partition::Strategy::Dfs
+                                : partition::Strategy::DagP;
+    } else if (a == "--json") f.json = true;
+    else if (a == "--exact") f.exact = true;
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
+      std::exit(2);
+    }
+  }
+  return f;
+}
+
+Circuit load_circuit(const std::string& spec, unsigned qubits) {
+  if (spec.size() > 5 && spec.substr(spec.size() - 5) == ".qasm")
+    return qasm::parse_file(spec);
+  return circuits::make_by_name(spec, qubits);
+}
+
+int cmd_suite() {
+  std::printf("%-10s %8s %8s %10s %10s\n", "name", "paper-q", "paper-g",
+              "paper-mem", "default-q");
+  for (const auto& b : circuits::qasmbench_suite())
+    std::printf("%-10s %8u %8zu %10s %10u\n", b.name.c_str(), b.paper_qubits,
+                b.paper_gates, b.paper_memory.c_str(), b.default_qubits);
+  return 0;
+}
+
+int cmd_run(const std::string& spec, const Flags& f) {
+  const Circuit c = load_circuit(spec, f.qubits);
+  std::fprintf(stderr, "%s\n", c.summary().c_str());
+
+  RunOptions opt;
+  opt.strategy = f.strategy;
+  opt.limit = f.limit;
+  opt.process_qubits = f.ranks_p;
+  opt.level2_limit = f.level2;
+  RunReport rep;
+  HiSvSim sim(opt);
+  const sv::StateVector state =
+      f.ranks_p > 0 ? sim.simulate_distributed(c, &rep) : sim.simulate(c, &rep);
+
+  if (f.json) {
+    std::printf("{\n");
+    std::printf("  \"circuit\": \"%s\",\n", c.name().c_str());
+    std::printf("  \"qubits\": %u,\n", c.num_qubits());
+    std::printf("  \"gates\": %zu,\n", c.num_gates());
+    std::printf("  \"strategy\": \"%s\",\n",
+                partition::strategy_name(f.strategy).c_str());
+    std::printf("  \"parts\": %zu,\n", rep.parts);
+    std::printf("  \"inner_parts\": %zu,\n", rep.inner_parts);
+    std::printf("  \"partition_seconds\": %.6g,\n", rep.partition_seconds);
+    if (rep.distributed) {
+      std::printf("  \"ranks\": %u,\n", rep.dist.ranks);
+      std::printf("  \"comm_bytes\": %llu,\n",
+                  (unsigned long long)rep.dist.comm.bytes_total);
+      std::printf("  \"comm_seconds_modeled\": %.6g,\n",
+                  rep.dist.comm.modeled_max_seconds);
+      std::printf("  \"compute_seconds\": %.6g,\n", rep.dist.compute_seconds);
+    } else {
+      std::printf("  \"gather_seconds\": %.6g,\n", rep.hier.gather_seconds);
+      std::printf("  \"execute_seconds\": %.6g,\n", rep.hier.execute_seconds);
+      std::printf("  \"scatter_seconds\": %.6g,\n", rep.hier.scatter_seconds);
+      std::printf("  \"outer_bytes_moved\": %llu,\n",
+                  (unsigned long long)rep.hier.outer_bytes_moved);
+    }
+    std::printf("  \"total_seconds\": %.6g,\n", rep.total_seconds());
+    std::printf("  \"norm\": %.12f\n", state.norm());
+    std::printf("}\n");
+  } else {
+    std::printf("parts=%zu total=%.4fs norm=%.12f\n", rep.parts,
+                rep.total_seconds(), state.norm());
+  }
+
+  if (f.shots > 0) {
+    Rng rng(0xC11);
+    const auto shots = sv::sample(state, f.shots, rng);
+    std::map<Index, std::size_t> hist;
+    for (Index s : shots) ++hist[s];
+    std::vector<std::pair<std::size_t, Index>> top;
+    for (const auto& [v, n] : hist) top.emplace_back(n, v);
+    std::sort(top.rbegin(), top.rend());
+    std::printf("top outcomes (%zu shots):\n", f.shots);
+    for (std::size_t i = 0; i < std::min<std::size_t>(8, top.size()); ++i) {
+      std::printf("  ");
+      for (unsigned q = c.num_qubits(); q-- > 0;)
+        std::printf("%c", (top[i].second >> q) & 1 ? '1' : '0');
+      std::printf("  %zu\n", top[i].first);
+    }
+  }
+  return 0;
+}
+
+int cmd_partition(const std::string& spec, const Flags& f) {
+  const Circuit c = load_circuit(spec, f.qubits);
+  std::printf("%s\n", c.summary().c_str());
+  const dag::CircuitDag dag(c);
+  partition::PartitionOptions opt;
+  opt.limit = f.limit == 0 ? std::max(2u, c.num_qubits() / 2) : f.limit;
+  opt.strategy = f.strategy;
+  const auto parts = partition::make_partition(dag, opt);
+  partition::validate(dag, parts);
+  std::printf("%s: %s (%.1f us)\n",
+              partition::strategy_name(f.strategy).c_str(),
+              parts.summary().c_str(), parts.partition_seconds * 1e6);
+  if (f.exact) {
+    try {
+      const auto exact = partition::partition_exact(dag, opt.limit);
+      std::printf("exact: %zu parts (%s)\n", exact.partitioning.num_parts(),
+                  exact.proven_optimal ? "proven optimal" : "truncated");
+    } catch (const Error& e) {
+      std::printf("exact: skipped — %s\n", e.what());
+    }
+  }
+  if (!f.dot.empty()) {
+    std::ofstream out(f.dot);
+    out << dag.to_dot(parts.part_of);
+    std::printf("wrote %s\n", f.dot.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: hisim <run|partition|suite> [circuit] [flags]\n");
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "suite") return cmd_suite();
+    if (argc < 3) {
+      std::fprintf(stderr, "missing circuit argument\n");
+      return 2;
+    }
+    const Flags f = parse_flags(argc, argv, 3);
+    if (cmd == "run") return cmd_run(argv[2], f);
+    if (cmd == "partition") return cmd_partition(argv[2], f);
+    std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+    return 2;
+  } catch (const hisim::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
