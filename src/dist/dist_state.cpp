@@ -1,0 +1,107 @@
+#include "dist/dist_state.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hisim::dist {
+
+void charge_exchange(CommStats& stats, const NetworkModel& net,
+                     std::span<const Index> sent, std::span<const Index> recv,
+                     std::span<const std::size_t> msgs) {
+  const std::size_t hosts = sent.size();
+  double worst = 0.0, sum = 0.0;
+  for (std::size_t h = 0; h < hosts; ++h) {
+    stats.bytes_total += sent[h];
+    stats.messages_total += msgs[h];
+    const double cost = net.seconds(std::max(sent[h], recv[h]), msgs[h]);
+    worst = std::max(worst, cost);
+    sum += cost;
+  }
+  stats.exchanges += 1;
+  stats.modeled_max_seconds += worst;
+  stats.modeled_avg_seconds += sum / static_cast<double>(hosts);
+}
+
+DistState::DistState(unsigned num_qubits, unsigned process_qubits,
+                     unsigned physical_ranks)
+    : layout_(RankLayout::identity(num_qubits, process_qubits)) {
+  const unsigned v = layout_.num_ranks();
+  physical_ = physical_ranks == 0 ? v : physical_ranks;
+  HISIM_CHECK_MSG(physical_ <= v,
+                  physical_ << " hosts for only " << v << " virtual ranks");
+  block_ = (v + physical_ - 1) / physical_;
+  ranks_.reserve(v);
+  for (unsigned r = 0; r < v; ++r) {
+    ranks_.emplace_back(layout_.local_qubits());
+    if (r != 0) ranks_[r][0] = 0.0;  // only rank 0 holds the |0..0> amplitude
+  }
+}
+
+sv::StateVector DistState::to_state_vector() const {
+  sv::StateVector full(num_qubits());
+  full[0] = 0.0;
+  for (unsigned r = 0; r < num_ranks(); ++r)
+    for (Index i = 0; i < layout_.local_dim(); ++i)
+      full[layout_.global_index(r, i)] = ranks_[r][i];
+  return full;
+}
+
+void DistState::redistribute(const RankLayout& target, const NetworkModel& net,
+                             CommStats& stats) {
+  HISIM_CHECK(target.num_qubits() == num_qubits() &&
+              target.process_qubits() == layout_.process_qubits());
+  if (target == layout_) return;
+
+  const unsigned v = num_ranks();
+  const unsigned n = num_qubits();
+  const Index ldim = layout_.local_dim();
+
+  // Composed slot permutation: bit s of the old combined index moves to
+  // bit perm[s] of the new one (both layouts agree on the canonical
+  // global index, so the map factors through it qubit by qubit).
+  std::vector<unsigned> perm(n);
+  for (unsigned s = 0; s < n; ++s) perm[s] = target.slot_of(layout_.qubit_at(s));
+
+  std::vector<sv::StateVector> next;
+  next.reserve(v);
+  for (unsigned r = 0; r < v; ++r) {
+    next.emplace_back(layout_.local_qubits());
+    next[r][0] = 0.0;
+  }
+
+  // Per-directed-virtual-rank-pair traffic, for the host cost model.
+  std::vector<Index> pair_amps(static_cast<std::size_t>(v) * v, 0);
+  for (unsigned r = 0; r < v; ++r) {
+    for (Index i = 0; i < ldim; ++i) {
+      Index c = Index{r} << layout_.local_qubits() | i;
+      Index d = 0;
+      for (unsigned s = 0; s < n; ++s)
+        if ((c >> s) & 1u) d |= Index{1} << perm[s];
+      const unsigned r2 = static_cast<unsigned>(d >> layout_.local_qubits());
+      next[r2][d & (ldim - 1)] = ranks_[r][i];
+      ++pair_amps[static_cast<std::size_t>(r) * v + r2];
+    }
+  }
+  ranks_ = std::move(next);
+  layout_ = target;
+
+  // Charge cross-host traffic: one message per directed virtual-rank pair
+  // with payload; co-located pairs are free.
+  std::vector<Index> sent(physical_, 0), recv(physical_, 0);
+  std::vector<std::size_t> msgs(physical_, 0);
+  for (unsigned r = 0; r < v; ++r) {
+    for (unsigned r2 = 0; r2 < v; ++r2) {
+      const Index amps = pair_amps[static_cast<std::size_t>(r) * v + r2];
+      if (amps == 0 || r == r2) continue;
+      const unsigned h1 = physical_of(r), h2 = physical_of(r2);
+      if (h1 == h2) continue;
+      sent[h1] += amps * kAmpBytes;
+      recv[h2] += amps * kAmpBytes;
+      msgs[h1] += 1;
+    }
+  }
+  charge_exchange(stats, net, sent, recv, msgs);
+}
+
+}  // namespace hisim::dist

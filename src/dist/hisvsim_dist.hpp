@@ -1,0 +1,83 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "dist/dist_state.hpp"
+#include "partition/partition.hpp"
+
+namespace hisim::dist {
+
+/// Consolidated accounting of one distributed run: measured compute time,
+/// modeled network time, and the per-part (comm, compute) pairs the
+/// overlap estimate is built from.
+struct DistRunReport {
+  std::size_t parts = 0;        // first-level (node-memory-sized) parts
+  std::size_t inner_parts = 0;  // second-level (cache-sized) parts, if any
+  unsigned ranks = 0;           // simulated virtual ranks (2^p)
+  double partition_seconds = 0.0;
+  double compute_seconds = 0.0;  // measured local gate-application time
+  CommStats comm;                // modeled network cost, all exchanges
+  /// One (modeled comm seconds, measured compute seconds) pair per part,
+  /// in execution order. Parts whose qubits were already local have a
+  /// zero comm entry.
+  std::vector<std::pair<double, double>> part_times;
+
+  /// Conservative serial estimate: every rank waits for the slowest
+  /// exchange before computing.
+  double total_seconds() const {
+    return compute_seconds + comm.modeled_max_seconds;
+  }
+
+  /// Pipelined estimate (paper Sec. V-C): while a rank computes part i it
+  /// can already receive the exchange for part i+1, so consecutive
+  /// (compute, next-comm) phases overlap:
+  ///   T = comm_1 + sum_i max(compute_i, comm_{i+1})   (comm_{k+1} = 0).
+  /// Falls back to total_seconds() when no per-part times were recorded.
+  /// Bounded below by both total comm and total compute, and above by
+  /// total_seconds().
+  double total_seconds_overlapped() const;
+
+  /// Fraction of the serial total spent communicating, in [0, 1].
+  double comm_ratio() const;
+};
+
+/// The paper's distributed hierarchical simulator (Sec. V), executed on
+/// simulated ranks: partition the circuit so every part fits in one
+/// rank's shard, then per part (1) redistribute amplitudes so the part's
+/// qubits are local on every rank — at most one collective exchange per
+/// part — and (2) apply the part's gates shard-locally with qubits
+/// remapped through the layout. This contrasts with the IQS-style
+/// baseline, which keeps a fixed layout and pays one pairwise exchange
+/// per gate that mixes a process qubit.
+///
+/// The rank/local split follows the Fig. 3 convention documented on
+/// RankLayout: after redistribute(), every part qubit occupies a slot
+/// below l = n - p, so each gate becomes block-diagonal over ranks and
+/// each simulated rank applies it to its own shard independently —
+/// exactly the computation a real MPI rank would perform between
+/// exchanges.
+class DistributedHiSvSim {
+ public:
+  struct Options {
+    /// p: the run uses 2^p virtual ranks; each shard holds 2^(n-p)
+    /// amplitudes. Must match the DistState passed to run().
+    unsigned process_qubits = 0;
+    /// First-level partitioning configuration. A limit of 0 (or one
+    /// larger than n - p) is clamped to the local qubit count.
+    partition::PartitionOptions part;
+    /// Nonzero enables a second, cache-sized partitioning level inside
+    /// every part (paper Sec. IV multi-level).
+    unsigned level2_limit = 0;
+    NetworkModel net;
+  };
+
+  /// Runs `c` on `state` (which may carry any layout; it is redistributed
+  /// as needed). Throws if a gate's arity exceeds the local qubit count —
+  /// no valid single-exchange-per-part schedule exists then.
+  DistRunReport run(const Circuit& c, const Options& opt,
+                    DistState& state) const;
+};
+
+}  // namespace hisim::dist

@@ -1,0 +1,47 @@
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "dist/dist_state.hpp"
+
+namespace hisim::dist {
+
+/// Accounting of one IQS-baseline run (same comm model as DistRunReport,
+/// but per-gate exchanges instead of per-part redistributions).
+struct IqsRunReport {
+  unsigned ranks = 0;
+  double compute_seconds = 0.0;
+  CommStats comm;
+
+  double total_seconds() const {
+    return compute_seconds + comm.modeled_max_seconds;
+  }
+  /// Fraction of the total spent communicating, in [0, 1].
+  double comm_ratio() const {
+    const double total = total_seconds();
+    return total > 0.0 ? comm.modeled_max_seconds / total : 0.0;
+  }
+};
+
+/// Intel-QS-style distributed baseline (the paper's Fig. 7/8 comparison
+/// arm): the amplitude layout is *fixed* to the identity — qubit q at slot
+/// q, the top p qubits selecting the rank — for the whole run, and every
+/// gate is classified per the standard scheme:
+///  * all operands local                    -> rank-local apply, free
+///  * diagonal (any operands)               -> per-rank phase sweep, free
+///  * global controls, local mixing qubits  -> conditional local apply, free
+///  * a *mixing* operand on a process qubit -> pairwise halves exchange
+///    between the 2^|G| ranks differing in those bits, one event per gate
+/// Deep circuits that repeatedly target a process qubit therefore pay one
+/// exchange per gate, which is exactly the traffic HiSVSIM's one
+/// redistribution per part amortizes away.
+class IqsBaselineSimulator {
+ public:
+  /// Runs `c` on `state`, which must carry the identity layout (throws
+  /// otherwise — this baseline never relayouts). The layout is unchanged
+  /// on return. Pass the same `net` given to DistributedHiSvSim::Options
+  /// when comparing the two on a non-default interconnect.
+  IqsRunReport run(const Circuit& c, DistState& state,
+                   const NetworkModel& net = {}) const;
+};
+
+}  // namespace hisim::dist

@@ -115,9 +115,10 @@ TEST_P(RandomPartitions, ExactNeverWorseThanHeuristics) {
     opt.strategy = s;
     opt.seed = seed;
     const auto parts = partition::make_partition(d, opt);
-    if (exact.proven_optimal)
+    if (exact.proven_optimal) {
       EXPECT_LE(exact.partitioning.num_parts(), parts.num_parts())
           << "seed " << seed << " vs " << partition::strategy_name(s);
+    }
   }
 }
 
