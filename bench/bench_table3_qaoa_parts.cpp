@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
       total_ms += ms;
       total_gates += part.gates.size();
       bench::print_row({i == 0 ? partition::strategy_name(strategy) : "",
-                        "P" + std::to_string(i),
+                        std::string("P").append(std::to_string(i)),
                         std::to_string(part.working_set()),
                         std::to_string(part.gates.size()),
                         bench::fmt(ms, 1)},

@@ -23,10 +23,13 @@ Args parse_args(int argc, char** argv) {
             static_cast<unsigned>(std::atoi(tok.c_str())));
     } else if (a.rfind("--seed=", 0) == 0) {
       args.seed = std::strtoull(a.c_str() + 7, nullptr, 10);
+    } else if (a.rfind("--backend=", 0) == 0) {
+      args.backend = dist::parse_backend(a.substr(10));
     } else if (a == "--quick") {
       args.quick = true;
     } else if (a == "--help") {
-      std::printf("flags: --qubits-delta=N --ranks=p1,p2 --seed=N --quick\n");
+      std::printf("flags: --qubits-delta=N --ranks=p1,p2 --seed=N --quick "
+                  "--backend=serial|threaded\n");
       std::exit(0);
     }
   }
@@ -51,13 +54,15 @@ std::vector<SuiteEntry> scaled_suite(const Args& args) {
 
 dist::DistRunReport run_hisvsim(const Circuit& c, unsigned p,
                                 partition::Strategy strategy,
-                                std::uint64_t seed, unsigned level2_limit) {
+                                std::uint64_t seed, unsigned level2_limit,
+                                dist::BackendKind backend) {
   dist::DistState state(c.num_qubits(), p);
   dist::DistributedHiSvSim::Options opt;
   opt.process_qubits = p;
   opt.part.strategy = strategy;
   opt.part.seed = seed;
   opt.level2_limit = level2_limit;
+  opt.backend = &dist::backend_for(backend);
   return dist::DistributedHiSvSim().run(c, opt, state);
 }
 

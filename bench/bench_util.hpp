@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "circuits/generators.hpp"
+#include "dist/backend.hpp"
 #include "dist/hisvsim_dist.hpp"
 #include "dist/iqs_baseline.hpp"
 #include "partition/partition.hpp"
@@ -20,9 +21,12 @@ struct Args {
   std::vector<unsigned> process_qubits = {3, 4, 5};  // ranks = 2^p sweeps
   std::uint64_t seed = 0x5eed;
   bool quick = false;          // smaller sweep for smoke runs
+  /// Exchange backend for the measured comm/wall columns.
+  dist::BackendKind backend = dist::BackendKind::Threaded;
 };
 
-/// Parses --qubits-delta=N --ranks=p1,p2,... --seed=N --quick.
+/// Parses --qubits-delta=N --ranks=p1,p2,... --seed=N --quick
+/// --backend=serial|threaded.
 Args parse_args(int argc, char** argv);
 
 /// The suite at scaled sizes: name -> circuit.
@@ -32,11 +36,14 @@ struct SuiteEntry {
 };
 std::vector<SuiteEntry> scaled_suite(const Args& args);
 
-/// Runs distributed HiSVSIM with `strategy` and returns the report.
+/// Runs distributed HiSVSIM with `strategy` and returns the report (the
+/// serial reference backend; pass a kind for measured-overlap runs).
 dist::DistRunReport run_hisvsim(const Circuit& c, unsigned p,
                                 partition::Strategy strategy,
                                 std::uint64_t seed,
-                                unsigned level2_limit = 0);
+                                unsigned level2_limit = 0,
+                                dist::BackendKind backend =
+                                    dist::BackendKind::Serial);
 
 /// Runs the IQS-style baseline.
 dist::IqsRunReport run_iqs(const Circuit& c, unsigned p);

@@ -2,23 +2,33 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
-#include <thread>
-#include <vector>
 
 namespace hisim::parallel {
 namespace {
 
-unsigned g_threads = 0;  // 0 = hardware_concurrency
+std::atomic<unsigned> g_threads{0};  // 0 = hardware_concurrency
+
+// Depth of fork-join regions (or inline_scopes) active on this thread;
+// nonzero makes for_range run inline instead of touching the shared pool.
+thread_local int tl_inline_depth = 0;
+
+struct InlineDepthGuard {
+  InlineDepthGuard() { ++tl_inline_depth; }
+  ~InlineDepthGuard() { --tl_inline_depth; }
+};
 
 unsigned resolved_threads() {
-  if (g_threads != 0) return g_threads;
+  const unsigned configured = g_threads.load(std::memory_order_relaxed);
+  if (configured != 0) return configured;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
 }
 
 /// A minimal fork-join pool: workers sleep between parallel regions.
-/// Recreated if the requested width changes.
+/// Recreated if the requested width changes. One region at a time:
+/// concurrent run() callers serialize on run_mu_.
 class Pool {
  public:
   explicit Pool(unsigned width) : width_(width) {
@@ -41,6 +51,7 @@ class Pool {
 
   void run(Index begin, Index end, Index grain,
            const std::function<void(Index, Index)>& fn) {
+    std::lock_guard run_lk(run_mu_);  // one region at a time
     const Index n = end - begin;
     const Index chunks = (n + grain - 1) / grain;
     {
@@ -79,12 +90,15 @@ class Pool {
   }
 
   void work(Index chunks) {
-    for (;;) {
-      const Index c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
-      if (c >= chunks) break;
-      const Index lo = begin_ + c * grain_;
-      const Index hi = std::min(end_, lo + grain_);
-      (*fn_)(lo, hi);
+    {
+      InlineDepthGuard in_region;  // nested for_range inside fn runs inline
+      for (;;) {
+        const Index c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+        if (c >= chunks) break;
+        const Index lo = begin_ + c * grain_;
+        const Index hi = std::min(end_, lo + grain_);
+        (*fn_)(lo, hi);
+      }
     }
     std::lock_guard lk(mu_);
     if (--pending_ == 0) done_cv_.notify_all();
@@ -92,6 +106,7 @@ class Pool {
 
   unsigned width_;
   std::vector<std::thread> workers_;
+  std::mutex run_mu_;
   std::mutex mu_;
   std::condition_variable cv_, done_cv_;
   std::uint64_t epoch_ = 0;
@@ -102,17 +117,22 @@ class Pool {
   const std::function<void(Index, Index)>* fn_ = nullptr;
 };
 
-Pool* pool_instance(unsigned width) {
-  static std::unique_ptr<Pool> pool;
+/// Shared ownership so a width change (set_num_threads from another
+/// thread) cannot destroy a Pool that a concurrent for_range is still
+/// running a region on — the old pool dies when its last region ends.
+std::shared_ptr<Pool> pool_instance(unsigned width) {
+  static std::shared_ptr<Pool> pool;
   static std::mutex mu;
   std::lock_guard lk(mu);
-  if (!pool || pool->width() != width) pool = std::make_unique<Pool>(width);
-  return pool.get();
+  if (!pool || pool->width() != width) pool = std::make_shared<Pool>(width);
+  return pool;
 }
 
 }  // namespace
 
-void set_num_threads(unsigned n) { g_threads = n; }
+void set_num_threads(unsigned n) {
+  g_threads.store(n, std::memory_order_relaxed);
+}
 
 unsigned num_threads() { return resolved_threads(); }
 
@@ -120,11 +140,53 @@ void for_range(Index begin, Index end,
                const std::function<void(Index, Index)>& fn, Index grain) {
   if (end <= begin) return;
   const unsigned width = resolved_threads();
-  if (width <= 1 || end - begin <= grain) {
+  if (width <= 1 || end - begin <= grain || tl_inline_depth > 0) {
     fn(begin, end);
     return;
   }
   pool_instance(width)->run(begin, end, grain, fn);
+}
+
+inline_scope::inline_scope() { ++tl_inline_depth; }
+inline_scope::~inline_scope() { --tl_inline_depth; }
+
+struct latch::Impl {
+  mutable std::mutex mu;
+  mutable std::condition_variable cv;
+  std::ptrdiff_t count;
+};
+
+latch::latch(std::ptrdiff_t count) : impl_(new Impl{{}, {}, count}) {}
+
+latch::~latch() { delete impl_; }
+
+void latch::count_down(std::ptrdiff_t n) {
+  std::lock_guard lk(impl_->mu);
+  impl_->count -= n;
+  if (impl_->count <= 0) impl_->cv.notify_all();
+}
+
+void latch::wait() const {
+  std::unique_lock lk(impl_->mu);
+  impl_->cv.wait(lk, [this] { return impl_->count <= 0; });
+}
+
+bool latch::try_wait() const {
+  std::lock_guard lk(impl_->mu);
+  return impl_->count <= 0;
+}
+
+void task_group::spawn(std::function<void()> fn) {
+  threads_.emplace_back([fn = std::move(fn)] {
+    inline_scope inline_only;
+    fn();
+  });
+}
+
+void task_group::join() {
+  for (auto& t : threads_)
+    if (t.joinable()) t.join();
+  threads_.clear();
 }
 
 }  // namespace hisim::parallel

@@ -2,6 +2,8 @@
 
 #include <cstddef>
 #include <functional>
+#include <thread>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -23,9 +25,75 @@ unsigned num_threads();
 
 /// Invoke fn(begin, end) over a partition of [begin, end) across workers.
 /// Ranges below `grain` run inline on the calling thread.
+///
+/// Re-entrancy: a call made from inside another for_range region (pool
+/// worker or participating caller), or from a thread holding an
+/// inline_scope, runs inline instead of re-entering the shared pool, so
+/// kernels may be invoked from already-parallel code without deadlocking
+/// the fork-join pool. Concurrent top-level calls from distinct threads
+/// are serialized against each other.
 void for_range(Index begin, Index end,
                const std::function<void(Index, Index)>& fn,
                Index grain = Index{1} << 12);
+
+/// RAII guard forcing every for_range issued by this thread to run inline
+/// for the guard's lifetime. Comm-backend worker threads hold one so their
+/// data movement never competes with the caller's fork-join regions (a
+/// worker blocking on the shared pool while the main thread's region waits
+/// on that worker would deadlock).
+class inline_scope {
+ public:
+  inline_scope();
+  ~inline_scope();
+  inline_scope(const inline_scope&) = delete;
+  inline_scope& operator=(const inline_scope&) = delete;
+};
+
+/// Single-use count-down latch (std::latch with a waitable count query):
+/// count_down() by producers, wait() blocks until the count reaches zero.
+/// The threaded comm backend's exchange handle counts one per movement
+/// worker so its barrier can complete without joining threads.
+class latch {
+ public:
+  explicit latch(std::ptrdiff_t count);
+  latch(const latch&) = delete;
+  latch& operator=(const latch&) = delete;
+  ~latch();
+
+  /// Decrements the count by n (must not drop below zero).
+  void count_down(std::ptrdiff_t n = 1);
+  /// Blocks until the count reaches zero.
+  void wait() const;
+  /// True iff the count already reached zero (non-blocking).
+  bool try_wait() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Owns a set of plain worker threads spawned for one async region and
+/// joins them on destruction. Each spawned thread runs under an
+/// inline_scope (see above). Unlike for_range this is not pooled — it is
+/// the structured-concurrency helper for long-lived overlap work (comm
+/// backends), not for data-parallel loops.
+class task_group {
+ public:
+  task_group() = default;
+  task_group(const task_group&) = delete;
+  task_group& operator=(const task_group&) = delete;
+  ~task_group() { join(); }
+
+  /// Launches fn on a new thread owned by the group.
+  void spawn(std::function<void()> fn);
+  /// Blocks until every spawned thread has finished. Idempotent.
+  void join();
+
+  std::size_t size() const { return threads_.size(); }
+
+ private:
+  std::vector<std::thread> threads_;
+};
 
 }  // namespace parallel
 }  // namespace hisim

@@ -1,0 +1,184 @@
+#include "dist/backend.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "common/timer.hpp"
+
+namespace hisim::dist {
+namespace {
+
+/// Fills destination shard r2 by pulling through the inverse permutation.
+/// `use_pool` parallelizes the offset loop over parallel::for_range (only
+/// meaningful on the caller's thread; backend workers hold an inline_scope
+/// so the flag is moot there).
+void fill_shard(const ExchangePlan& plan, unsigned r2, bool use_pool) {
+  const unsigned l = plan.local_qubits;
+  const unsigned n = static_cast<unsigned>(plan.inv.size());
+  const Index ldim = Index{1} << l;
+  // Contribution of the destination rank bits to the source index is
+  // constant across the shard; only the offset bits vary below.
+  Index base = 0;
+  for (unsigned s = l; s < n; ++s)
+    if ((r2 >> (s - l)) & 1u) base |= Index{1} << plan.inv[s];
+
+  const std::vector<sv::StateVector>& src = *plan.src;
+  sv::StateVector& out = (*plan.dst)[r2];
+  auto move_range = [&](Index lo, Index hi) {
+    for (Index j = lo; j < hi; ++j) {
+      Index c = base;
+      for (unsigned s = 0; s < l; ++s)
+        if ((j >> s) & 1u) c |= Index{1} << plan.inv[s];
+      out[j] = src[static_cast<unsigned>(c >> l)][c & (ldim - 1)];
+    }
+  };
+  if (use_pool)
+    parallel::for_range(0, ldim, move_range);
+  else
+    move_range(0, ldim);
+}
+
+/// Handle for exchanges that completed before start_exchange returned.
+class ReadyHandle final : public ExchangeHandle {
+ public:
+  explicit ReadyHandle(double seconds) : seconds_(seconds) {}
+  void wait_shard(unsigned) override {}
+  void wait_all() override {}
+  double seconds() const override { return seconds_; }
+  double finished_after() const override { return 0.0; }
+
+ private:
+  double seconds_ = 0.0;
+};
+
+/// Handle owning the per-host movement threads. Shard arrival is flagged
+/// under one mutex/condvar pair; completion of the whole exchange is a
+/// parallel::latch counted down once per worker, so wait_all() does not
+/// need to join threads (the task_group joins on destruction). The
+/// in-flight window is measured from spawn to the last worker's finish
+/// (not to wait_all, which may be called long after the movement ended
+/// while the caller was computing).
+class ThreadedHandle final : public ExchangeHandle {
+ public:
+  ThreadedHandle(ExchangePlan plan, unsigned workers)
+      : plan_(std::move(plan)), done_(plan_.num_ranks, 0), finished_(workers) {
+    // Balanced host split: every worker gets floor/ceil(hosts/workers)
+    // hosts (workers <= hosts by construction), so none sit idle.
+    const unsigned hosts = plan_.physical;
+    for (unsigned w = 0; w < workers; ++w) {
+      const unsigned h_begin = hosts * w / workers;
+      const unsigned h_end = hosts * (w + 1) / workers;
+      group_.spawn([this, h_begin, h_end] { move_hosts(h_begin, h_end); });
+    }
+  }
+
+  ~ThreadedHandle() override { group_.join(); }
+
+  void wait_shard(unsigned rank) override {
+    std::unique_lock lk(mu_);
+    cv_.wait(lk, [&] { return done_[rank] != 0; });
+  }
+
+  void wait_all() override {
+    finished_.wait();
+    std::lock_guard lk(mu_);
+    seconds_ = in_flight_;
+  }
+
+  double seconds() const override { return seconds_; }
+  double finished_after() const override { return seconds_; }
+
+ private:
+  void move_hosts(unsigned h_begin, unsigned h_end) {
+    const unsigned v = plan_.num_ranks;
+    for (unsigned h = h_begin; h < h_end; ++h) {
+      const unsigned r_begin = h * plan_.vranks_per_host;
+      const unsigned r_end = std::min(v, r_begin + plan_.vranks_per_host);
+      for (unsigned r2 = r_begin; r2 < r_end; ++r2) {
+        fill_shard(plan_, r2, /*use_pool=*/false);
+        {
+          std::lock_guard lk(mu_);
+          done_[r2] = 1;
+        }
+        cv_.notify_all();
+      }
+    }
+    {
+      std::lock_guard lk(mu_);
+      in_flight_ = std::max(in_flight_, timer_.seconds());
+    }
+    finished_.count_down();
+  }
+
+  ExchangePlan plan_;
+  Timer timer_;  // starts when the handle (and its workers) is created
+  parallel::task_group group_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::uint8_t> done_;
+  parallel::latch finished_;  // one count per worker
+  double in_flight_ = 0.0;    // spawn → last worker finished
+  double seconds_ = 0.0;
+};
+
+}  // namespace
+
+std::unique_ptr<ExchangeHandle> SerialBackend::start_exchange(
+    const ExchangePlan& plan) {
+  Timer timer;
+  for (unsigned r2 = 0; r2 < plan.num_ranks; ++r2)
+    fill_shard(plan, r2, /*use_pool=*/true);
+  return std::make_unique<ReadyHandle>(timer.seconds());
+}
+
+void SerialBackend::run_groups(std::size_t count,
+                               const std::function<void(std::size_t)>& task) {
+  for (std::size_t i = 0; i < count; ++i) task(i);
+}
+
+std::unique_ptr<ExchangeHandle> ThreadedBackend::start_exchange(
+    const ExchangePlan& plan) {
+  const unsigned cap = max_workers_ ? max_workers_ : parallel::num_threads();
+  const unsigned workers = std::max(1u, std::min(plan.physical, cap));
+  return std::make_unique<ThreadedHandle>(plan, workers);
+}
+
+void ThreadedBackend::run_groups(
+    std::size_t count, const std::function<void(std::size_t)>& task) {
+  parallel::for_range(
+      0, static_cast<Index>(count),
+      [&](Index lo, Index hi) {
+        for (Index i = lo; i < hi; ++i) task(static_cast<std::size_t>(i));
+      },
+      /*grain=*/1);
+}
+
+CommBackend& serial_backend() {
+  static SerialBackend backend;
+  return backend;
+}
+
+CommBackend& threaded_backend() {
+  static ThreadedBackend backend;
+  return backend;
+}
+
+CommBackend& backend_for(BackendKind kind) {
+  return kind == BackendKind::Threaded ? threaded_backend() : serial_backend();
+}
+
+BackendKind parse_backend(const std::string& name) {
+  if (name == "serial") return BackendKind::Serial;
+  if (name == "threaded") return BackendKind::Threaded;
+  throw Error("unknown comm backend '" + name + "' (serial|threaded)");
+}
+
+const char* backend_kind_name(BackendKind kind) {
+  return kind == BackendKind::Threaded ? "threaded" : "serial";
+}
+
+}  // namespace hisim::dist

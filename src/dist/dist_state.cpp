@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace hisim::dist {
 
@@ -23,9 +24,23 @@ void charge_exchange(CommStats& stats, const NetworkModel& net,
   stats.modeled_avg_seconds += sum / static_cast<double>(hosts);
 }
 
+namespace {
+
+RankLayout checked_identity(unsigned num_qubits, unsigned process_qubits) {
+  HISIM_CHECK_MSG(num_qubits > 0, "need at least one qubit");
+  HISIM_CHECK_MSG(process_qubits <= num_qubits,
+                  process_qubits << " process qubits exceed " << num_qubits
+                                 << " qubits");
+  HISIM_CHECK_MSG(process_qubits < 31,
+                  "2^" << process_qubits << " virtual ranks overflows");
+  return RankLayout::identity(num_qubits, process_qubits);
+}
+
+}  // namespace
+
 DistState::DistState(unsigned num_qubits, unsigned process_qubits,
                      unsigned physical_ranks)
-    : layout_(RankLayout::identity(num_qubits, process_qubits)) {
+    : layout_(checked_identity(num_qubits, process_qubits)) {
   const unsigned v = layout_.num_ranks();
   physical_ = physical_ranks == 0 ? v : physical_ranks;
   HISIM_CHECK_MSG(physical_ <= v,
@@ -39,62 +54,70 @@ DistState::DistState(unsigned num_qubits, unsigned process_qubits,
 }
 
 sv::StateVector DistState::to_state_vector() const {
+  const Index ldim = layout_.local_dim();
   sv::StateVector full(num_qubits());
   full[0] = 0.0;
-  for (unsigned r = 0; r < num_ranks(); ++r)
-    for (Index i = 0; i < layout_.local_dim(); ++i)
+  // Flattened (rank, offset) gather: the layout is a bijection, so every
+  // global index is written exactly once and chunks never collide.
+  parallel::for_range(0, Index{num_ranks()} * ldim, [&](Index lo, Index hi) {
+    for (Index ci = lo; ci < hi; ++ci) {
+      const unsigned r = static_cast<unsigned>(ci >> layout_.local_qubits());
+      const Index i = ci & (ldim - 1);
       full[layout_.global_index(r, i)] = ranks_[r][i];
+    }
+  });
   return full;
 }
 
 void DistState::redistribute(const RankLayout& target, const NetworkModel& net,
-                             CommStats& stats) {
+                             CommStats& stats, CommBackend& backend) {
+  if (auto handle = redistribute_async(target, net, stats, backend))
+    handle->wait_all();
+}
+
+std::unique_ptr<ExchangeHandle> DistState::redistribute_async(
+    const RankLayout& target, const NetworkModel& net, CommStats& stats,
+    CommBackend& backend) {
   HISIM_CHECK(target.num_qubits() == num_qubits() &&
               target.process_qubits() == layout_.process_qubits());
-  if (target == layout_) return;
+  if (target == layout_) return nullptr;
 
   const unsigned v = num_ranks();
   const unsigned n = num_qubits();
+  const unsigned l = layout_.local_qubits();
   const Index ldim = layout_.local_dim();
 
   // Composed slot permutation: bit s of the old combined index moves to
-  // bit perm[s] of the new one (both layouts agree on the canonical
-  // global index, so the map factors through it qubit by qubit).
-  std::vector<unsigned> perm(n);
-  for (unsigned s = 0; s < n; ++s) perm[s] = target.slot_of(layout_.qubit_at(s));
+  // bit fwd[s] of the new one (both layouts agree on the canonical global
+  // index, so the map factors through it qubit by qubit).
+  std::vector<unsigned> fwd(n), inv(n);
+  for (unsigned s = 0; s < n; ++s) fwd[s] = target.slot_of(layout_.qubit_at(s));
+  for (unsigned s = 0; s < n; ++s) inv[fwd[s]] = s;
 
-  std::vector<sv::StateVector> next;
-  next.reserve(v);
-  for (unsigned r = 0; r < v; ++r) {
-    next.emplace_back(layout_.local_qubits());
-    next[r][0] = 0.0;
-  }
-
-  // Per-directed-virtual-rank-pair traffic, for the host cost model.
-  std::vector<Index> pair_amps(static_cast<std::size_t>(v) * v, 0);
-  for (unsigned r = 0; r < v; ++r) {
-    for (Index i = 0; i < ldim; ++i) {
-      Index c = Index{r} << layout_.local_qubits() | i;
-      Index d = 0;
-      for (unsigned s = 0; s < n; ++s)
-        if ((c >> s) & 1u) d |= Index{1} << perm[s];
-      const unsigned r2 = static_cast<unsigned>(d >> layout_.local_qubits());
-      next[r2][d & (ldim - 1)] = ranks_[r][i];
-      ++pair_amps[static_cast<std::size_t>(r) * v + r2];
-    }
-  }
-  ranks_ = std::move(next);
-  layout_ = target;
-
-  // Charge cross-host traffic: one message per directed virtual-rank pair
-  // with payload; co-located pairs are free.
+  // Traffic accounting, derived from the permutation alone (no data pass,
+  // and identical for every backend). From source rank r, the destination
+  // rank bits fed by r's own rank bits are fixed; those fed by offset bits
+  // take every value equally often, so each reachable destination rank
+  // receives exactly ldim >> k amplitudes.
   std::vector<Index> sent(physical_, 0), recv(physical_, 0);
   std::vector<std::size_t> msgs(physical_, 0);
+  std::vector<unsigned> vary;  // destination rank bits driven by offset bits
+  vary.reserve(n - l);
+  for (unsigned s2 = l; s2 < n; ++s2)
+    if (inv[s2] < l) vary.push_back(s2 - l);
+  const unsigned k = static_cast<unsigned>(vary.size());
+  const Index amps = ldim >> k;
   for (unsigned r = 0; r < v; ++r) {
-    for (unsigned r2 = 0; r2 < v; ++r2) {
-      const Index amps = pair_amps[static_cast<std::size_t>(r) * v + r2];
-      if (amps == 0 || r == r2) continue;
-      const unsigned h1 = physical_of(r), h2 = physical_of(r2);
+    unsigned base = 0;
+    for (unsigned s2 = l; s2 < n; ++s2)
+      if (inv[s2] >= l && ((r >> (inv[s2] - l)) & 1u)) base |= 1u << (s2 - l);
+    const unsigned h1 = physical_of(r);
+    for (Index sub = 0; sub < (Index{1} << k); ++sub) {
+      unsigned r2 = base;
+      for (unsigned b = 0; b < k; ++b)
+        if ((sub >> b) & 1u) r2 |= 1u << vary[b];
+      if (r2 == r) continue;
+      const unsigned h2 = physical_of(r2);
       if (h1 == h2) continue;
       sent[h1] += amps * kAmpBytes;
       recv[h2] += amps * kAmpBytes;
@@ -102,6 +125,26 @@ void DistState::redistribute(const RankLayout& target, const NetworkModel& net,
     }
   }
   charge_exchange(stats, net, sent, recv, msgs);
+
+  // Double buffering: the old shards become the exchange source, the spare
+  // buffer (allocated once, reused across exchanges) receives.
+  if (spare_.size() != v) {
+    spare_.clear();
+    spare_.reserve(v);
+    for (unsigned r = 0; r < v; ++r) spare_.emplace_back(l);
+  }
+  ranks_.swap(spare_);
+  layout_ = target;
+
+  ExchangePlan plan;
+  plan.local_qubits = l;
+  plan.num_ranks = v;
+  plan.inv = std::move(inv);
+  plan.src = &spare_;
+  plan.dst = &ranks_;
+  plan.physical = physical_;
+  plan.vranks_per_host = block_;
+  return backend.start_exchange(plan);
 }
 
 }  // namespace hisim::dist

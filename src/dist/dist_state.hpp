@@ -1,8 +1,10 @@
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "dist/backend.hpp"
 #include "dist/layout.hpp"
 #include "sv/state_vector.hpp"
 
@@ -31,6 +33,8 @@ struct CommStats {
   Index bytes_total = 0;            // payload bytes on the network
   double modeled_max_seconds = 0.0; // sum over events of the slowest host
   double modeled_avg_seconds = 0.0; // sum over events of the mean host cost
+
+  bool operator==(const CommStats&) const = default;
 };
 
 /// Folds one exchange event's per-host traffic into `stats` under `net`:
@@ -46,7 +50,9 @@ void charge_exchange(CommStats& stats, const NetworkModel& net,
 /// contiguous 2^(n-p)-amplitude shard addressed through a RankLayout;
 /// redistribute() moves amplitudes between shards when the layout changes
 /// (the all-to-all exchange primitive of the paper's Sec. V) and charges
-/// the modeled network cost to a CommStats.
+/// the modeled network cost to a CommStats. The data movement itself is
+/// delegated to a CommBackend; traffic accounting is derived analytically
+/// from the permutation, so every backend produces identical CommStats.
 ///
 /// Virtual ranks: passing physical_ranks < 2^p maps the 2^p virtual ranks
 /// onto that many hosts in contiguous blocks (ceil(2^p/H) per host), which
@@ -55,7 +61,10 @@ void charge_exchange(CommStats& stats, const NetworkModel& net,
 class DistState {
  public:
   /// Ground state |0...0> of n qubits on 2^p ranks under the identity
-  /// layout. physical_ranks = 0 means one host per virtual rank.
+  /// layout. physical_ranks = 0 means one host per virtual rank. Throws
+  /// hisim::Error unless num_qubits > 0, process_qubits <= num_qubits
+  /// (and small enough that 2^p fits an unsigned), and
+  /// physical_ranks <= 2^p.
   explicit DistState(unsigned num_qubits, unsigned process_qubits,
                      unsigned physical_ranks = 0);
 
@@ -72,21 +81,36 @@ class DistState {
   const sv::StateVector& local(unsigned rank) const { return ranks_[rank]; }
 
   /// Gathers all shards into one full state vector (test/verification
-  /// path; a real deployment would keep the state sharded).
+  /// path; a real deployment would keep the state sharded). Parallelized
+  /// over parallel::for_range.
   sv::StateVector to_state_vector() const;
 
   /// Moves every amplitude to the shard/offset `target` assigns it and
   /// adopts `target` as the current layout. A no-op when the layout is
   /// unchanged; otherwise counts one exchange and charges cross-host
-  /// traffic to `stats` under `net`.
+  /// traffic to `stats` under `net`. Blocks until the exchange completed
+  /// on `backend`.
   void redistribute(const RankLayout& target, const NetworkModel& net,
-                    CommStats& stats);
+                    CommStats& stats, CommBackend& backend = serial_backend());
+
+  /// Asynchronous redistribute: starts the exchange on `backend` and
+  /// returns its handle, or nullptr when the layout is unchanged (nothing
+  /// to move, nothing charged). The state adopts `target` immediately, but
+  /// shard r must not be touched until handle->wait_shard(r) returned, and
+  /// no other redistribute may start before handle->wait_all(). The
+  /// previous shard buffer is retained as the exchange source (double
+  /// buffering — steady state allocates nothing).
+  std::unique_ptr<ExchangeHandle> redistribute_async(const RankLayout& target,
+                                                     const NetworkModel& net,
+                                                     CommStats& stats,
+                                                     CommBackend& backend);
 
  private:
   RankLayout layout_;
   unsigned physical_ = 0;
   unsigned block_ = 1;  // virtual ranks per host: ceil(2^p / physical_)
   std::vector<sv::StateVector> ranks_;
+  std::vector<sv::StateVector> spare_;  // previous-exchange source buffer
 };
 
 }  // namespace hisim::dist

@@ -1,9 +1,11 @@
 #include "dist/hisvsim_dist.hpp"
 
 #include <algorithm>
+#include <mutex>
 
 #include "circuit/decompose.hpp"
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "common/timer.hpp"
 #include "dag/circuit_dag.hpp"
 #include "sv/hierarchical.hpp"
@@ -35,6 +37,8 @@ DistRunReport DistributedHiSvSim::run(const Circuit& c, const Options& opt,
   HISIM_CHECK_MSG(state.num_qubits() == n && state.num_ranks() == (1u << p),
                   "state shape does not match circuit/options");
   const unsigned l = n - p;
+  const unsigned v = state.num_ranks();
+  CommBackend& backend = opt.backend ? *opt.backend : serial_backend();
 
   partition::PartitionOptions po = opt.part;
   po.limit = po.limit == 0 ? l : std::min(po.limit, l);
@@ -59,26 +63,56 @@ DistRunReport DistributedHiSvSim::run(const Circuit& c, const Options& opt,
 
   for (const partition::Part& part : parts.parts) {
     // (1) Relayout: one collective exchange at most, none if the part's
-    // qubits are already local.
+    // qubits are already local. The exchange is started asynchronously;
+    // each rank below waits only for its own shard before applying.
+    Timer wall;
     const double comm_before = rep.comm.modeled_max_seconds;
     const RankLayout target =
         RankLayout::for_part(n, p, part.qubits, state.layout());
-    state.redistribute(target, opt.net, rep.comm);
+    const std::unique_ptr<ExchangeHandle> handle =
+        state.redistribute_async(target, opt.net, rep.comm, backend);
     const double part_comm = rep.comm.modeled_max_seconds - comm_before;
+    // The comm window on the part clock: movement started (at most) here
+    // and finishes handle->finished_after() later (0 for a synchronous
+    // backend — its movement already happened).
+    const double comm_begin = wall.seconds();
 
     // (2) Local apply: every part qubit now sits on a slot below l, so
     // each gate is block-diagonal over ranks and applies shard-locally.
+    // Ranks are independent, so the apply loop fans out over
+    // parallel::for_range (one rank per chunk); shard contents are
+    // identical to a serial sweep.
     std::vector<Qubit> slot_of(n);
     for (Qubit q = 0; q < n; ++q)
       slot_of[q] = static_cast<Qubit>(state.layout().slot_of(q));
 
-    double part_comp = 0.0;
+    std::mutex comp_mu;
+    // Compute window on the part clock: first rank starting to apply
+    // (after its shard arrived) → last rank finished.
+    double comp_begin = -1.0, comp_end = 0.0;
+    auto apply_ranks = [&](const std::function<void(unsigned)>& apply_rank) {
+      parallel::for_range(
+          0, v,
+          [&](Index lo, Index hi) {
+            for (Index r = lo; r < hi; ++r) {
+              const unsigned rank = static_cast<unsigned>(r);
+              if (handle) handle->wait_shard(rank);
+              const double t0 = wall.seconds();
+              apply_rank(rank);
+              const double t1 = wall.seconds();
+              std::lock_guard lk(comp_mu);
+              if (comp_begin < 0.0 || t0 < comp_begin) comp_begin = t0;
+              comp_end = std::max(comp_end, t1);
+            }
+          },
+          /*grain=*/1);
+    };
+
     if (opt.level2_limit == 0) {
-      Timer timer;
-      for (unsigned r = 0; r < state.num_ranks(); ++r)
+      apply_ranks([&](unsigned r) {
         for (std::size_t gi : part.gates)
           sv::apply_gate_remapped(state.local(r), run_c.gate(gi), slot_of);
-      part_comp = timer.seconds();
+      });
     } else {
       // Second level: re-partition the part's sub-circuit (expressed on
       // local slots) with the cache-sized limit and run it through the
@@ -96,13 +130,25 @@ DistRunReport DistributedHiSvSim::run(const Circuit& c, const Options& opt,
       const partition::Partitioning inner = partition::make_partition(sdag, po2);
       rep.inner_parts += inner.num_parts();
       rep.partition_seconds += inner.partition_seconds;
-      sv::HierarchicalStats scratch;
-      Timer timer;
-      for (unsigned r = 0; r < state.num_ranks(); ++r)
+      apply_ranks([&](unsigned r) {
+        sv::HierarchicalStats scratch;  // per-rank: run_part mutates it
         for (const partition::Part& ip : inner.parts)
           sv::run_part(sub, ip.gates, ip.qubits, state.local(r), scratch);
-      part_comp = timer.seconds();
+      });
     }
+
+    const double part_comp = comp_begin < 0.0 ? 0.0 : comp_end - comp_begin;
+    if (handle) {
+      handle->wait_all();
+      rep.measured_comm_seconds += handle->seconds();
+      // Overlap = intersection of the comm window [comm_begin, comm_end]
+      // and the compute window [comp_begin, comp_end] on the part clock.
+      const double comm_end = comm_begin + handle->finished_after();
+      if (comp_begin >= 0.0)
+        rep.measured_overlap_seconds += std::max(
+            0.0, std::min(comm_end, comp_end) - std::max(comm_begin, comp_begin));
+    }
+    rep.measured_wall_seconds += wall.seconds();
     rep.compute_seconds += part_comp;
     rep.part_times.emplace_back(part_comm, part_comp);
   }

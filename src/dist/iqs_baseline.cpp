@@ -55,7 +55,8 @@ bool is_identity(const Matrix& m) {
 }  // namespace
 
 IqsRunReport IqsBaselineSimulator::run(const Circuit& c, DistState& state,
-                                       const NetworkModel& net) const {
+                                       const NetworkModel& net,
+                                       CommBackend* backend_ptr) const {
   const unsigned n = c.num_qubits();
   HISIM_CHECK(state.num_qubits() == n);
   const unsigned l = state.layout().local_qubits();
@@ -64,6 +65,7 @@ IqsRunReport IqsBaselineSimulator::run(const Circuit& c, DistState& state,
       "IQS baseline requires the identity layout");
   const unsigned v = state.num_ranks();
   const Index ldim = state.layout().local_dim();
+  CommBackend& backend = backend_ptr ? *backend_ptr : serial_backend();
 
   IqsRunReport rep;
   rep.ranks = v;
@@ -75,8 +77,11 @@ IqsRunReport IqsBaselineSimulator::run(const Circuit& c, DistState& state,
                     [l](Qubit q) { return q >= l; });
     if (!any_global) {
       // Under the identity layout local qubit == local slot: apply as-is.
+      // Shards are independent — one backend group per rank.
       compute.start();
-      for (unsigned r = 0; r < v; ++r) sv::apply_gate(state.local(r), g);
+      backend.run_groups(v, [&](std::size_t r) {
+        sv::apply_gate(state.local(static_cast<unsigned>(r)), g);
+      });
       compute.stop();
       continue;
     }
@@ -93,7 +98,8 @@ IqsRunReport IqsBaselineSimulator::run(const Circuit& c, DistState& state,
       // own process-qubit values, so the gate restricts to a rank-local
       // operator (possibly the identity, or a pure scalar phase).
       compute.start();
-      for (unsigned r = 0; r < v; ++r) {
+      backend.run_groups(v, [&](std::size_t rr) {
+        const unsigned r = static_cast<unsigned>(rr);
         std::vector<int> fixed(g.arity(), -1);
         std::vector<Qubit> local_ops;
         for (unsigned j = 0; j < g.arity(); ++j) {
@@ -103,30 +109,40 @@ IqsRunReport IqsBaselineSimulator::run(const Circuit& c, DistState& state,
             local_ops.push_back(g.qubits[j]);
         }
         const Matrix sub = restrict_matrix(m, fixed);
-        if (is_identity(sub)) continue;
+        if (is_identity(sub)) return;
         if (local_ops.empty()) {
           const cplx phase = sub(0, 0);
           for (Index i = 0; i < ldim; ++i) state.local(r)[i] *= phase;
         } else {
           sv::apply_gate(state.local(r), Gate::unitary(local_ops, sub));
         }
-      }
+      });
       compute.stop();
       continue;
     }
 
     // Exchange path: ranks differing only in the global mixing bits form
     // groups of 2^|G|; each group member sends the partners' slices out,
-    // the gate runs on the combined vector, and the slices return.
+    // the gate runs on the combined vector, and the slices return. Groups
+    // partition the rank set, so they execute through the backend as
+    // independent tasks (the overlap-capable backend fans them out).
     Index gmask = 0;  // rank-bit mask of the global mixing positions
     for (unsigned j : global_mixing) gmask |= Index{1} << (g.qubits[j] - l);
     const unsigned gcount = static_cast<unsigned>(global_mixing.size());
     const Index groups = Index{1} << gcount;
 
+    std::vector<unsigned> leaders;  // bases with the mixing bits clear
+    for (Index base = 0; base < v; ++base)
+      if ((base & gmask) == 0) leaders.push_back(static_cast<unsigned>(base));
+
+    // Per-leader member list, filled only by groups that exchanged (the
+    // indexed layout keeps the accounting deterministic under any backend
+    // execution order).
+    std::vector<std::vector<unsigned>> exchanged(leaders.size());
+
     compute.start();
-    std::vector<std::vector<unsigned>> exchanged_groups;
-    for (Index base = 0; base < v; ++base) {
-      if ((base & gmask) != 0) continue;  // not a group leader
+    backend.run_groups(leaders.size(), [&](std::size_t li) {
+      const unsigned base = leaders[li];
       std::vector<unsigned> members(groups);
       for (Index gb = 0; gb < groups; ++gb)
         members[gb] = static_cast<unsigned>(base | bits::deposit(gb, gmask));
@@ -152,8 +168,7 @@ IqsRunReport IqsBaselineSimulator::run(const Circuit& c, DistState& state,
       // Groups whose restricted gate is the identity (e.g. an unsatisfied
       // process-qubit control) neither compute nor exchange anything.
       const Matrix sub = restrict_matrix(m, fixed);
-      if (is_identity(sub)) continue;
-      exchanged_groups.push_back(members);
+      if (is_identity(sub)) return;
 
       sv::StateVector combined(l + gcount);
       for (Index gb = 0; gb < groups; ++gb) {
@@ -165,18 +180,21 @@ IqsRunReport IqsBaselineSimulator::run(const Circuit& c, DistState& state,
         sv::StateVector& shard = state.local(members[gb]);
         for (Index i = 0; i < ldim; ++i) shard[i] = combined[(gb << l) | i];
       }
-    }
+      exchanged[li] = std::move(members);
+    });
     compute.stop();
 
     // Accounting: per ordered pair within each group that actually
     // exchanged, the sender's 1/2^|G| slice travels out and back
     // (2 messages) unless the pair is co-located.
-    if (exchanged_groups.empty()) continue;
     const Index slice_bytes = (ldim >> gcount) * kAmpBytes * 2;
     std::vector<Index> sent(state.physical_ranks(), 0),
         recv(state.physical_ranks(), 0);
     std::vector<std::size_t> msgs(state.physical_ranks(), 0);
-    for (const std::vector<unsigned>& members : exchanged_groups) {
+    bool any_exchanged = false;
+    for (const std::vector<unsigned>& members : exchanged) {
+      if (members.empty()) continue;
+      any_exchanged = true;
       for (unsigned u : members) {
         for (unsigned w : members) {
           if (u == w) continue;
@@ -188,7 +206,7 @@ IqsRunReport IqsBaselineSimulator::run(const Circuit& c, DistState& state,
         }
       }
     }
-    charge_exchange(rep.comm, net, sent, recv, msgs);
+    if (any_exchanged) charge_exchange(rep.comm, net, sent, recv, msgs);
   }
 
   rep.compute_seconds = compute.seconds();

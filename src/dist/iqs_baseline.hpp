@@ -1,6 +1,7 @@
 #pragma once
 
 #include "circuit/circuit.hpp"
+#include "dist/backend.hpp"
 #include "dist/dist_state.hpp"
 
 namespace hisim::dist {
@@ -39,9 +40,13 @@ class IqsBaselineSimulator {
   /// Runs `c` on `state`, which must carry the identity layout (throws
   /// otherwise — this baseline never relayouts). The layout is unchanged
   /// on return. Pass the same `net` given to DistributedHiSvSim::Options
-  /// when comparing the two on a non-default interconnect.
+  /// when comparing the two on a non-default interconnect. Rank-local
+  /// work and the pairwise exchange groups (which touch disjoint shard
+  /// sets) execute through `backend` (nullptr = serial_backend()); the
+  /// resulting state and CommStats are backend-independent.
   IqsRunReport run(const Circuit& c, DistState& state,
-                   const NetworkModel& net = {}) const;
+                   const NetworkModel& net = {},
+                   CommBackend* backend = nullptr) const;
 };
 
 }  // namespace hisim::dist

@@ -63,6 +63,7 @@ sv::StateVector HiSvSim::simulate_distributed(const Circuit& c,
   o.part.seed = opt_.seed;
   o.level2_limit = opt_.level2_limit;
   o.net = opt_.net;
+  o.backend = &dist::backend_for(opt_.backend);
   RunReport rep;
   rep.distributed = true;
   rep.dist = dist::DistributedHiSvSim().run(c, o, state);

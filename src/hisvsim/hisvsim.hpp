@@ -28,6 +28,9 @@ struct RunOptions {
   unsigned level2_limit = 0;
   std::uint64_t seed = 0x5eed;
   dist::NetworkModel net;
+  /// Exchange backend for distributed runs: Serial (synchronous reference)
+  /// or Threaded (per-host workers, measured comm/compute overlap).
+  dist::BackendKind backend = dist::BackendKind::Serial;
 };
 
 struct RunReport {

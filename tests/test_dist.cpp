@@ -119,6 +119,51 @@ TEST(Distributed, CommDecreasesWithFewerParts) {
   EXPECT_LE(rep_dagp.comm.exchanges, rep_nat.comm.exchanges);
 }
 
+TEST(DistState, RedistributeRejectsMismatchedTarget) {
+  DistState st(6, 2);
+  NetworkModel net;
+  CommStats stats;
+  // Wrong qubit count and wrong process-qubit split both throw.
+  EXPECT_THROW(st.redistribute(RankLayout::identity(5, 2), net, stats), Error);
+  EXPECT_THROW(st.redistribute(RankLayout::identity(6, 3), net, stats), Error);
+  EXPECT_EQ(stats.exchanges, 0u);
+}
+
+TEST(DistState, RedistributeWithExplicitBackendsAgree) {
+  // Same scenario as RedistributePreservesAmplitudes, through both
+  // backends explicitly: contents and accounting must be identical.
+  NetworkModel net;
+  sv::StateVector results[2];
+  CommStats stats[2];
+  CommBackend* backends[2] = {&serial_backend(), &threaded_backend()};
+  for (int b = 0; b < 2; ++b) {
+    DistState st(6, 2);
+    for (unsigned r = 0; r < st.num_ranks(); ++r)
+      for (Index i = 0; i < st.local(r).size(); ++i)
+        st.local(r)[i] =
+            cplx(static_cast<double>(st.layout().global_index(r, i)), 0);
+    const RankLayout target = RankLayout::for_part(6, 2, {4, 5}, st.layout());
+    st.redistribute(target, net, stats[b], *backends[b]);
+    results[b] = st.to_state_vector();
+  }
+  EXPECT_EQ(stats[0], stats[1]);
+  for (Index i = 0; i < results[0].size(); ++i)
+    EXPECT_EQ(results[0][i], results[1][i]);
+}
+
+TEST(Distributed, ThreadedBackendMatchesFlatReference) {
+  const Circuit c = circuits::qft(9);
+  DistState state(9, 2);
+  DistributedHiSvSim::Options opt;
+  opt.process_qubits = 2;
+  opt.backend = &threaded_backend();
+  const DistRunReport rep = DistributedHiSvSim().run(c, opt, state);
+  const sv::StateVector flat = sv::FlatSimulator().simulate(c);
+  EXPECT_LT(state.to_state_vector().max_abs_diff(flat), 1e-10);
+  EXPECT_GT(rep.measured_wall_seconds, 0.0);
+  EXPECT_GE(rep.measured_overlap_seconds, 0.0);
+}
+
 TEST(Distributed, ReportTotalsConsistent) {
   const Circuit c = circuits::qft(8);
   DistState state(8, 2);

@@ -60,6 +60,34 @@ TEST(Overlap, SinglePartDegeneratesToSum) {
   }
 }
 
+TEST(Overlap, MeasuredOverlapBoundedByCommPlusCompute) {
+  // The measured counterpart of the modeled estimate: hidden work can
+  // never exceed the comm + compute work actually performed, under either
+  // backend.
+  for (const char* name : {"qft", "ising"}) {
+    const Circuit c = circuits::make_by_name(name, 9);
+    for (CommBackend* backend :
+         {&serial_backend(), &threaded_backend()}) {
+      DistState state(9, 2);
+      DistributedHiSvSim::Options opt;
+      opt.process_qubits = 2;
+      opt.backend = backend;
+      const auto rep = DistributedHiSvSim().run(c, opt, state);
+      EXPECT_GT(rep.measured_wall_seconds, 0.0) << name;
+      EXPECT_GE(rep.measured_comm_seconds, 0.0) << name;
+      EXPECT_GE(rep.measured_overlap_seconds, 0.0) << name;
+      EXPECT_LE(rep.measured_overlap_seconds,
+                rep.measured_comm_seconds + 1e-9)
+          << name << " on " << backend->name();
+      EXPECT_LE(rep.measured_overlap_seconds, rep.compute_seconds + 1e-9)
+          << name << " on " << backend->name();
+      EXPECT_LE(rep.measured_overlap_seconds,
+                rep.measured_comm_seconds + rep.compute_seconds + 1e-9)
+          << name << " on " << backend->name();
+    }
+  }
+}
+
 TEST(Overlap, EmptyReportFallsBack) {
   DistRunReport rep;
   rep.compute_seconds = 1.0;

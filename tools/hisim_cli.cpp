@@ -2,7 +2,7 @@
 //
 //   hisim run <circuit|file.qasm> [--qubits=N] [--limit=L]
 //         [--strategy=dagp|dfs|nat] [--ranks=P] [--level2=L2]
-//         [--shots=S] [--json]
+//         [--backend=serial|threaded] [--shots=S] [--json]
 //   hisim partition <circuit|file.qasm> [--qubits=N] [--limit=L]
 //         [--strategy=...] [--dot=out.dot] [--exact]
 //   hisim suite                      # list the built-in benchmark suite
@@ -16,6 +16,7 @@
 #include <string>
 
 #include "circuits/generators.hpp"
+#include "dist/backend.hpp"
 #include "hisvsim/hisvsim.hpp"
 #include "partition/exact.hpp"
 #include "qasm/parser.hpp"
@@ -35,6 +36,7 @@ struct Flags {
   bool exact = false;
   std::string dot;
   partition::Strategy strategy = partition::Strategy::DagP;
+  dist::BackendKind backend = dist::BackendKind::Serial;
 };
 
 Flags parse_flags(int argc, char** argv, int first) {
@@ -60,6 +62,8 @@ Flags parse_flags(int argc, char** argv, int first) {
       f.strategy = s == "nat"   ? partition::Strategy::Nat
                    : s == "dfs" ? partition::Strategy::Dfs
                                 : partition::Strategy::DagP;
+    } else if (const char* v = val("--backend=")) {
+      f.backend = dist::parse_backend(v);
     } else if (a == "--json") f.json = true;
     else if (a == "--exact") f.exact = true;
     else {
@@ -94,6 +98,7 @@ int cmd_run(const std::string& spec, const Flags& f) {
   opt.limit = f.limit;
   opt.process_qubits = f.ranks_p;
   opt.level2_limit = f.level2;
+  opt.backend = f.backend;
   RunReport rep;
   HiSvSim sim(opt);
   const sv::StateVector state =
@@ -111,10 +116,18 @@ int cmd_run(const std::string& spec, const Flags& f) {
     std::printf("  \"partition_seconds\": %.6g,\n", rep.partition_seconds);
     if (rep.distributed) {
       std::printf("  \"ranks\": %u,\n", rep.dist.ranks);
+      std::printf("  \"backend\": \"%s\",\n",
+                  dist::backend_kind_name(f.backend));
       std::printf("  \"comm_bytes\": %llu,\n",
                   (unsigned long long)rep.dist.comm.bytes_total);
       std::printf("  \"comm_seconds_modeled\": %.6g,\n",
                   rep.dist.comm.modeled_max_seconds);
+      std::printf("  \"comm_seconds_measured\": %.6g,\n",
+                  rep.dist.measured_comm_seconds);
+      std::printf("  \"wall_seconds_measured\": %.6g,\n",
+                  rep.dist.measured_wall_seconds);
+      std::printf("  \"overlap_seconds_measured\": %.6g,\n",
+                  rep.dist.measured_overlap_seconds);
       std::printf("  \"compute_seconds\": %.6g,\n", rep.dist.compute_seconds);
     } else {
       std::printf("  \"gather_seconds\": %.6g,\n", rep.hier.gather_seconds);
@@ -126,6 +139,13 @@ int cmd_run(const std::string& spec, const Flags& f) {
     std::printf("  \"total_seconds\": %.6g,\n", rep.total_seconds());
     std::printf("  \"norm\": %.12f\n", state.norm());
     std::printf("}\n");
+  } else if (rep.distributed) {
+    std::printf(
+        "parts=%zu total=%.4fs norm=%.12f backend=%s "
+        "comm=%.4fs wall=%.4fs overlap=%.4fs\n",
+        rep.parts, rep.total_seconds(), state.norm(),
+        dist::backend_kind_name(f.backend), rep.dist.measured_comm_seconds,
+        rep.dist.measured_wall_seconds, rep.dist.measured_overlap_seconds);
   } else {
     std::printf("parts=%zu total=%.4fs norm=%.12f\n", rep.parts,
                 rep.total_seconds(), state.norm());
