@@ -61,10 +61,10 @@ int main(int argc, char** argv) {
     const Circuit& c = e.circuit;
     const unsigned l = c.num_qubits() - p;
     const unsigned level2 = l > 4 ? l - 4 : l;  // cache-sized second level
-    const auto single = bench::run_hisvsim(c, p, partition::Strategy::DagP,
-                                           args.seed);
-    const auto multi = bench::run_hisvsim(c, p, partition::Strategy::DagP,
-                                          args.seed, level2);
+    const auto single = bench::run_hisvsim(args, c, p,
+                                           partition::Strategy::DagP);
+    const auto multi = bench::run_hisvsim(args, c, p,
+                                          partition::Strategy::DagP, level2);
     const dag::CircuitDag dag(c);
     partition::PartitionOptions po;
     po.limit = l;

@@ -17,12 +17,12 @@ int main(int argc, char** argv) {
   std::vector<double> dagp_factors, dagp_factors_large;
   for (const auto& e : bench::scaled_suite(args)) {
     for (unsigned p : args.process_qubits) {
-      const auto iqs = bench::run_iqs(e.circuit, p);
+      const auto iqs = bench::run_iqs(args, e.circuit, p);
       std::vector<std::string> row = {e.meta.name,
                                       std::to_string(1u << p)};
       for (auto s : {partition::Strategy::Nat, partition::Strategy::Dfs,
                      partition::Strategy::DagP}) {
-        const auto his = bench::run_hisvsim(e.circuit, p, s, args.seed);
+        const auto his = bench::run_hisvsim(args, e.circuit, p, s);
         const double factor =
             his.total_seconds() > 0
                 ? iqs.total_seconds() / his.total_seconds()

@@ -16,13 +16,13 @@ int main(int argc, char** argv) {
 
   for (const auto& e : bench::scaled_suite(args)) {
     for (unsigned p : args.process_qubits) {
-      const auto iqs = bench::run_iqs(e.circuit, p);
+      const auto iqs = bench::run_iqs(args, e.circuit, p);
       std::vector<std::string> row = {e.meta.name, std::to_string(1u << p),
                                       bench::fmt(iqs.total_seconds(), 4)};
       std::size_t dagp_parts = 0;
       for (auto s : {partition::Strategy::Nat, partition::Strategy::Dfs,
                      partition::Strategy::DagP}) {
-        const auto his = bench::run_hisvsim(e.circuit, p, s, args.seed);
+        const auto his = bench::run_hisvsim(args, e.circuit, p, s);
         row.push_back(bench::fmt(his.total_seconds(), 4));
         if (s == partition::Strategy::DagP) dagp_parts = his.parts;
       }

@@ -24,12 +24,12 @@ int main(int argc, char** argv) {
   unsigned dagp_best = 0, cases = 0;
   for (const auto& e : bench::scaled_suite(args)) {
     for (unsigned p : args.process_qubits) {
-      const auto iqs = bench::run_iqs(e.circuit, p);
+      const auto iqs = bench::run_iqs(args, e.circuit, p);
       std::vector<double> avg;
       double measured_comm = 0.0, measured_overlap = 0.0;
       for (auto s : {partition::Strategy::Nat, partition::Strategy::Dfs,
                      partition::Strategy::DagP}) {
-        const auto his = bench::run_hisvsim(e.circuit, p, s, args.seed,
+        const auto his = bench::run_hisvsim(args, e.circuit, p, s,
                                             /*level2_limit=*/0, args.backend);
         avg.push_back(his.comm.modeled_avg_seconds);
         if (s == partition::Strategy::DagP) {

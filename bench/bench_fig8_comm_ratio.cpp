@@ -23,15 +23,15 @@ int main(int argc, char** argv) {
   for (unsigned p : args.process_qubits) {
     std::vector<double> iqs_r, nat_r, dfs_r, dagp_r, meas_r;
     for (const auto& e : suite) {
-      const auto iqs = bench::run_iqs(e.circuit, p);
+      const auto iqs = bench::run_iqs(args, e.circuit, p);
       if (iqs.comm_ratio() > 0) iqs_r.push_back(iqs.comm_ratio());
-      const auto nat = bench::run_hisvsim(e.circuit, p,
-                                          partition::Strategy::Nat, args.seed);
-      const auto dfs = bench::run_hisvsim(e.circuit, p,
-                                          partition::Strategy::Dfs, args.seed);
+      const auto nat = bench::run_hisvsim(args, e.circuit, p,
+                                          partition::Strategy::Nat);
+      const auto dfs = bench::run_hisvsim(args, e.circuit, p,
+                                          partition::Strategy::Dfs);
       const auto dagp =
-          bench::run_hisvsim(e.circuit, p, partition::Strategy::DagP,
-                             args.seed, /*level2_limit=*/0, args.backend);
+          bench::run_hisvsim(args, e.circuit, p, partition::Strategy::DagP,
+                             /*level2_limit=*/0, args.backend);
       if (nat.comm_ratio() > 0) nat_r.push_back(nat.comm_ratio());
       if (dfs.comm_ratio() > 0) dfs_r.push_back(dfs.comm_ratio());
       if (dagp.comm_ratio() > 0) dagp_r.push_back(dagp.comm_ratio());

@@ -51,13 +51,13 @@ int main(int argc, char** argv) {
   std::vector<std::vector<double>> total(4), comm(3);
   for (const auto& e : bench::scaled_suite(args)) {
     for (unsigned p : args.process_qubits) {
-      const auto iqs = bench::run_iqs(e.circuit, p);
-      const auto nat = bench::run_hisvsim(e.circuit, p,
-                                          partition::Strategy::Nat, args.seed);
-      const auto dfs = bench::run_hisvsim(e.circuit, p,
-                                          partition::Strategy::Dfs, args.seed);
+      const auto iqs = bench::run_iqs(args, e.circuit, p);
+      const auto nat = bench::run_hisvsim(args, e.circuit, p,
+                                          partition::Strategy::Nat);
+      const auto dfs = bench::run_hisvsim(args, e.circuit, p,
+                                          partition::Strategy::Dfs);
       const auto dagp = bench::run_hisvsim(
-          e.circuit, p, partition::Strategy::DagP, args.seed);
+          args, e.circuit, p, partition::Strategy::DagP);
       total[0].push_back(dagp.total_seconds());
       total[1].push_back(nat.total_seconds());
       total[2].push_back(dfs.total_seconds());

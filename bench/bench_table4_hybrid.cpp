@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   double best_total = 0;
   for (auto strategy : {partition::Strategy::DagP, partition::Strategy::Dfs,
                         partition::Strategy::Nat}) {
-    const auto rep = bench::run_hisvsim(c, p, strategy, args.seed);
+    const auto rep = bench::run_hisvsim(args, c, p, strategy);
     const double comm = rep.comm.modeled_max_seconds * 1e3;
     const double comp = rep.compute_seconds * 1e3;
     if (strategy == partition::Strategy::DagP) best_total = comm + comp;
@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
                       bench::fmt(comp, 2), bench::fmt(comm + comp, 2)},
                      {10, 10, 10, 10});
   }
-  const auto baseline = bench::run_iqs(c, p);
+  const auto baseline = bench::run_iqs(args, c, p);
   bench::print_row({"per-gate", bench::fmt(baseline.comm.modeled_max_seconds * 1e3, 2),
                     bench::fmt(baseline.compute_seconds * 1e3, 2),
                     bench::fmt(baseline.total_seconds() * 1e3, 2)},

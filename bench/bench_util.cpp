@@ -27,9 +27,11 @@ Args parse_args(int argc, char** argv) {
       args.backend = dist::parse_backend(a.substr(10));
     } else if (a == "--quick") {
       args.quick = true;
+    } else if (a == "--json") {
+      args.json = true;
     } else if (a == "--help") {
       std::printf("flags: --qubits-delta=N --ranks=p1,p2 --seed=N --quick "
-                  "--backend=serial|threaded\n");
+                  "--json --backend=serial|threaded\n");
       std::exit(0);
     }
   }
@@ -52,23 +54,42 @@ std::vector<SuiteEntry> scaled_suite(const Args& args) {
   return out;
 }
 
-dist::DistRunReport run_hisvsim(const Circuit& c, unsigned p,
-                                partition::Strategy strategy,
-                                std::uint64_t seed, unsigned level2_limit,
-                                dist::BackendKind backend) {
-  dist::DistState state(c.num_qubits(), p);
-  dist::DistributedHiSvSim::Options opt;
-  opt.process_qubits = p;
-  opt.part.strategy = strategy;
-  opt.part.seed = seed;
-  opt.level2_limit = level2_limit;
-  opt.backend = &dist::backend_for(backend);
-  return dist::DistributedHiSvSim().run(c, opt, state);
+namespace {
+
+/// Single report sink for every bench run: the table columns read Result
+/// fields, and --json dumps the full serialized report per run.
+hisim::Result finish(const Args& args, hisim::Result r) {
+  if (args.json) std::printf("%s\n", r.to_json().c_str());
+  return r;
 }
 
-dist::IqsRunReport run_iqs(const Circuit& c, unsigned p) {
-  dist::DistState state(c.num_qubits(), p);
-  return dist::IqsBaselineSimulator().run(c, state);
+/// Benches read only the report fields: skip the O(2^n) state gather.
+ExecOptions report_only() {
+  ExecOptions x;
+  x.want_state = false;
+  return x;
+}
+
+}  // namespace
+
+hisim::Result run_hisvsim(const Args& args, const Circuit& c, unsigned p,
+                          partition::Strategy strategy, unsigned level2_limit,
+                          dist::BackendKind backend) {
+  Options opt;
+  opt.target = target_for_backend(backend);
+  opt.strategy = strategy;
+  opt.level2_limit = level2_limit;
+  opt.process_qubits = p;
+  opt.seed = args.seed;
+  return finish(args, Engine::compile(c, opt).execute(report_only()));
+}
+
+hisim::Result run_iqs(const Args& args, const Circuit& c, unsigned p) {
+  Options opt;
+  opt.target = Target::IqsBaseline;
+  opt.process_qubits = p;
+  opt.seed = args.seed;
+  return finish(args, Engine::compile(c, opt).execute(report_only()));
 }
 
 double geomean(const std::vector<double>& xs) {

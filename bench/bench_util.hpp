@@ -3,15 +3,17 @@
 // Shared helpers for the per-table / per-figure benchmark binaries. Each
 // binary regenerates one table or figure of the paper at a scaled size
 // (flags: --qubits-delta, --ranks, --seed) and prints the same rows/series
-// the paper reports.
+// the paper reports. Runs go through the hisim::Engine compile/execute
+// API and return flat hisim::Result reports; --json additionally dumps
+// every run's Result::to_json(), so the machine-readable report fields are
+// defined in exactly one place (engine.hpp).
 
 #include <string>
 #include <vector>
 
 #include "circuits/generators.hpp"
 #include "dist/backend.hpp"
-#include "dist/hisvsim_dist.hpp"
-#include "dist/iqs_baseline.hpp"
+#include "hisvsim/engine.hpp"
 #include "partition/partition.hpp"
 
 namespace hisim::bench {
@@ -21,11 +23,13 @@ struct Args {
   std::vector<unsigned> process_qubits = {3, 4, 5};  // ranks = 2^p sweeps
   std::uint64_t seed = 0x5eed;
   bool quick = false;          // smaller sweep for smoke runs
+  /// Dump each run's Result::to_json() to stdout as it completes.
+  bool json = false;
   /// Exchange backend for the measured comm/wall columns.
   dist::BackendKind backend = dist::BackendKind::Threaded;
 };
 
-/// Parses --qubits-delta=N --ranks=p1,p2,... --seed=N --quick
+/// Parses --qubits-delta=N --ranks=p1,p2,... --seed=N --quick --json
 /// --backend=serial|threaded.
 Args parse_args(int argc, char** argv);
 
@@ -36,17 +40,17 @@ struct SuiteEntry {
 };
 std::vector<SuiteEntry> scaled_suite(const Args& args);
 
-/// Runs distributed HiSVSIM with `strategy` and returns the report (the
-/// serial reference backend; pass a kind for measured-overlap runs).
-dist::DistRunReport run_hisvsim(const Circuit& c, unsigned p,
-                                partition::Strategy strategy,
-                                std::uint64_t seed,
-                                unsigned level2_limit = 0,
-                                dist::BackendKind backend =
-                                    dist::BackendKind::Serial);
+/// Compiles `c` for the distributed HiSVSIM target with `strategy` and
+/// executes the plan once (serial reference backend by default; pass
+/// Threaded for measured-overlap columns). Honors args.seed / args.json.
+hisim::Result run_hisvsim(const Args& args, const Circuit& c, unsigned p,
+                          partition::Strategy strategy,
+                          unsigned level2_limit = 0,
+                          dist::BackendKind backend =
+                              dist::BackendKind::Serial);
 
-/// Runs the IQS-style baseline.
-dist::IqsRunReport run_iqs(const Circuit& c, unsigned p);
+/// Runs the IQS-style baseline target.
+hisim::Result run_iqs(const Args& args, const Circuit& c, unsigned p);
 
 /// Geometric mean (ignores non-positive entries).
 double geomean(const std::vector<double>& xs);

@@ -1,0 +1,16 @@
+// 8-qubit GHZ state — tiny sample input for qasm_runner (and the CI
+// examples smoke job). Expected outcomes: |00000000> and |11111111> with
+// probability 0.5 each.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[8];
+creg c[8];
+h q[0];
+cx q[0],q[1];
+cx q[1],q[2];
+cx q[2],q[3];
+cx q[3],q[4];
+cx q[4],q[5];
+cx q[5],q[6];
+cx q[6],q[7];
+measure q -> c;

@@ -1,13 +1,13 @@
-// Multi-level demo (Sec. IV / Fig. 10): simulates a QFT with single-level
-// and two-level partitioning and reports the execution-time difference the
-// cache-sized second level buys. Usage:
+// Multi-level demo (Sec. IV / Fig. 10): compiles a QFT for the
+// single-level and two-level targets and reports the execution-time
+// difference the cache-sized second level buys. Usage:
 //   multilevel_qft [qubits=16] [l1=12] [l2=8]
 
 #include <cstdio>
 #include <cstdlib>
 
 #include "circuits/generators.hpp"
-#include "hisvsim/hisvsim.hpp"
+#include "hisvsim/engine.hpp"
 
 int main(int argc, char** argv) {
   using namespace hisim;
@@ -18,23 +18,23 @@ int main(int argc, char** argv) {
   const Circuit c = circuits::qft(n);
   std::printf("%s\n", c.summary().c_str());
 
-  RunOptions single;
+  Options single;
+  single.target = Target::Hierarchical;
   single.limit = l1;
-  RunReport rep1;
-  const auto s1 = HiSvSim(single).simulate(c, &rep1);
+  const Result r1 = Engine::compile(c, single).execute();
 
-  RunOptions multi = single;
+  Options multi = single;
+  multi.target = Target::Multilevel;
   multi.level2_limit = l2;
-  RunReport rep2;
-  const auto s2 = HiSvSim(multi).simulate(c, &rep2);
+  const Result r2 = Engine::compile(c, multi).execute();
 
   std::printf("single-level: %3zu parts,            total %.3f s\n",
-              rep1.parts, rep1.hier.total_seconds());
+              r1.parts, r1.total_seconds());
   std::printf("multi-level : %3zu parts (%zu inner), total %.3f s\n",
-              rep2.parts, rep2.inner_parts, rep2.hier.total_seconds());
-  std::printf("states agree to %.2e\n", s1.max_abs_diff(s2));
-  if (rep2.hier.total_seconds() > 0)
+              r2.parts, r2.inner_parts, r2.total_seconds());
+  std::printf("states agree to %.2e\n", r1.state.max_abs_diff(r2.state));
+  if (r2.total_seconds() > 0)
     std::printf("multi-level speedup: %.2fx\n",
-                rep1.hier.total_seconds() / rep2.hier.total_seconds());
+                r1.total_seconds() / r2.total_seconds());
   return 0;
 }

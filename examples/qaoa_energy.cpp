@@ -1,7 +1,8 @@
-// Domain example: evaluate a MaxCut QAOA circuit end to end — hierarchical
-// simulation with dagP partitioning, then cut-value expectation from ZZ
-// Pauli terms and sampled bitstrings. This is the workload class the
-// paper's Table III/IV evaluate. Usage:
+// Domain example: evaluate a MaxCut QAOA circuit end to end with the
+// compile-once/run-many API — one ExecutionPlan, executed with shots and
+// ZZ Pauli observables first-class in ExecOptions. This is the workload
+// class the paper's Table III/IV evaluate: many executions (parameter
+// points, shot batches) amortizing one partitioning. Usage:
 //   qaoa_energy [qubits=14] [rounds=4] [limit=10] [shots=2000]
 
 #include <algorithm>
@@ -10,8 +11,7 @@
 #include <set>
 
 #include "circuits/generators.hpp"
-#include "hisvsim/hisvsim.hpp"
-#include "sv/observables.hpp"
+#include "hisvsim/engine.hpp"
 
 int main(int argc, char** argv) {
   using namespace hisim;
@@ -22,14 +22,6 @@ int main(int argc, char** argv) {
 
   const Circuit c = circuits::qaoa(n, rounds, /*seed=*/7);
   std::printf("%s\n", c.summary().c_str());
-
-  RunOptions opt;
-  opt.strategy = partition::Strategy::DagP;
-  opt.limit = limit;
-  RunReport report;
-  const sv::StateVector state = HiSvSim(opt).simulate(c, &report);
-  std::printf("%zu parts, simulated in %.3f s\n", report.parts,
-              report.hier.total_seconds());
 
   // Recover the problem graph edges from the circuit's CX pattern
   // (each cost term is the CX-RZ-CX sandwich the generator emits).
@@ -43,19 +35,34 @@ int main(int argc, char** argv) {
   }
   std::printf("problem graph: %zu edges\n", edges.size());
 
-  // MaxCut expectation: C = sum_e (1 - <Z_a Z_b>) / 2.
-  double cut = 0.0;
+  // Compile once...
+  Options opt;
+  opt.target = Target::Hierarchical;
+  opt.strategy = partition::Strategy::DagP;
+  opt.limit = limit;
+  const ExecutionPlan plan = Engine::compile(c, opt);
+  std::printf("%zu parts, compiled in %.3f ms\n", plan.num_parts(),
+              plan.compile_seconds() * 1e3);
+
+  // ...and execute with shots and one ZZ observable per edge.
+  ExecOptions x;
+  x.shots = shots;
   for (const auto& [a, b] : edges) {
     sv::PauliString zz;
     zz.factors = {{a, sv::Pauli::Z}, {b, sv::Pauli::Z}};
-    cut += 0.5 * (1.0 - sv::expectation(state, zz));
+    x.observables.push_back(std::move(zz));
   }
+  const Result r = plan.execute(x);
+  std::printf("executed in %.3f s (simulation %.3f s)\n", r.execute_seconds,
+              r.total_seconds());
+
+  // MaxCut expectation: C = sum_e (1 - <Z_a Z_b>) / 2.
+  double cut = 0.0;
+  for (double zz : r.observables) cut += 0.5 * (1.0 - zz);
   std::printf("expected cut value: %.4f of %zu edges (%.1f%%)\n", cut,
               edges.size(), 100.0 * cut / static_cast<double>(edges.size()));
 
-  // Sample bitstrings and report the best cut observed.
-  Rng rng(123);
-  const auto samples = sv::sample(state, shots, rng);
+  // Report the best cut among the sampled bitstrings.
   auto cut_of = [&](Index bits) {
     unsigned v = 0;
     for (const auto& [a, b] : edges)
@@ -63,8 +70,8 @@ int main(int argc, char** argv) {
     return v;
   };
   unsigned best = 0;
-  for (Index s : samples) best = std::max(best, cut_of(s));
-  std::printf("best sampled cut over %zu shots: %u / %zu edges\n", shots,
-              best, edges.size());
+  for (Index s : r.samples) best = std::max(best, cut_of(s));
+  std::printf("best sampled cut over %zu shots: %u / %zu edges\n",
+              r.samples.size(), best, edges.size());
   return 0;
 }

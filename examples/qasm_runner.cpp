@@ -1,5 +1,5 @@
-// OpenQASM runner: loads a .qasm file (e.g. from QASMBench), partitions it
-// with the chosen strategy, simulates hierarchically, and prints the most
+// OpenQASM runner: loads a .qasm file (e.g. from QASMBench), compiles it
+// with the chosen strategy, executes the plan, and prints the most
 // probable measurement outcomes. Usage:
 //   qasm_runner <file.qasm> [limit=12] [strategy=dagp|nat|dfs]
 
@@ -8,7 +8,7 @@
 #include <cstdlib>
 #include <vector>
 
-#include "hisvsim/hisvsim.hpp"
+#include "hisvsim/engine.hpp"
 #include "qasm/parser.hpp"
 
 int main(int argc, char** argv) {
@@ -29,7 +29,8 @@ int main(int argc, char** argv) {
   std::printf("%s (%zu measurements, %zu barriers skipped)\n",
               c.summary().c_str(), info.num_measure, info.num_barrier);
 
-  RunOptions opt;
+  Options opt;
+  opt.target = Target::Hierarchical;
   opt.limit = argc > 2 ? std::atoi(argv[2]) : 12;
   if (argc > 3) {
     const std::string s = argv[3];
@@ -38,18 +39,16 @@ int main(int argc, char** argv) {
                                 : partition::Strategy::DagP;
   }
 
-  RunReport report;
-  const sv::StateVector state = HiSvSim(opt).simulate(c, &report);
-  std::printf("%zu parts, total %.3f s (gather %.3f, execute %.3f, "
-              "scatter %.3f)\n",
-              report.parts, report.hier.total_seconds(),
-              report.hier.gather_seconds, report.hier.execute_seconds,
-              report.hier.scatter_seconds);
+  const Result r = Engine::compile(c, opt).execute();
+  std::printf("%zu parts, compile %.3f s, total %.3f s (gather %.3f, "
+              "apply %.3f, scatter %.3f)\n",
+              r.parts, r.compile_seconds, r.total_seconds(),
+              r.gather_seconds, r.apply_seconds, r.scatter_seconds);
 
   // Top-8 outcomes by probability.
   std::vector<std::pair<double, Index>> probs;
-  for (Index i = 0; i < state.size(); ++i) {
-    const double pr = std::norm(state[i]);
+  for (Index i = 0; i < r.state.size(); ++i) {
+    const double pr = std::norm(r.state[i]);
     if (pr > 1e-9) probs.emplace_back(pr, i);
   }
   std::sort(probs.rbegin(), probs.rend());

@@ -1,10 +1,12 @@
-// Quickstart: build a circuit, partition it with dagP, simulate it
-// hierarchically, and inspect the report — the five-minute tour of the
-// HiSVSIM public API.
+// Quickstart: build a circuit, compile it ONCE into an ExecutionPlan, and
+// execute the plan several times — the five-minute tour of the HiSVSIM
+// compile/execute API. Partitioning, lowering, and layout planning all
+// happen in Engine::compile(); execute() only moves amplitudes.
 
 #include <cstdio>
 
-#include "hisvsim/hisvsim.hpp"
+#include "hisvsim/engine.hpp"
+#include "sv/simulator.hpp"
 
 int main() {
   using namespace hisim;
@@ -20,27 +22,36 @@ int main() {
   }
   std::printf("circuit: %s\n", c.summary().c_str());
 
-  // Simulate hierarchically with the dagP strategy and an 8-qubit
-  // working-set limit (inner state vectors of 256 amplitudes).
-  RunOptions opt;
+  // Compile with the dagP strategy and an 8-qubit working-set limit
+  // (inner state vectors of 256 amplitudes). The plan is immutable and
+  // shareable; compile cost is paid exactly once.
+  Options opt;
+  opt.target = Target::Hierarchical;
   opt.strategy = partition::Strategy::DagP;
   opt.limit = 8;
-  RunReport report;
-  const sv::StateVector state = HiSvSim(opt).simulate(c, &report);
+  const ExecutionPlan plan = Engine::compile(c, opt);
+  std::printf("compiled: %zu parts in %.3f ms (partitioning %.3f ms)\n",
+              plan.num_parts(), plan.compile_seconds() * 1e3,
+              plan.partition_seconds() * 1e3);
 
-  std::printf("parts: %zu, partition time: %.3f ms\n", report.parts,
-              report.partition_seconds * 1e3);
-  std::printf("gather %.3f ms / execute %.3f ms / scatter %.3f ms\n",
-              report.hier.gather_seconds * 1e3,
-              report.hier.execute_seconds * 1e3,
-              report.hier.scatter_seconds * 1e3);
-  std::printf("outer traffic: %.1f MiB, norm: %.12f\n",
-              static_cast<double>(report.hier.outer_bytes_moved) / (1 << 20),
-              state.norm());
+  // Execute it — once plainly, once more with measurement shots. Every
+  // execution starts from |0...0> and pays zero partitioning cost.
+  const Result r1 = plan.execute();
+  std::printf("run 1: gather %.3f ms / apply %.3f ms / scatter %.3f ms, "
+              "outer traffic %.1f MiB, norm %.12f\n",
+              r1.gather_seconds * 1e3, r1.apply_seconds * 1e3,
+              r1.scatter_seconds * 1e3,
+              static_cast<double>(r1.outer_bytes_moved) / (1 << 20), r1.norm);
+
+  ExecOptions shots;
+  shots.shots = 1000;
+  const Result r2 = plan.execute(shots);
+  std::printf("run 2: %zu shots drawn, states agree to %.2e\n",
+              r2.samples.size(), r1.state.max_abs_diff(r2.state));
 
   // Sanity: compare against the flat reference simulator.
   const sv::StateVector ref = sv::FlatSimulator().simulate(c);
   std::printf("max |amp diff| vs flat reference: %.2e\n",
-              state.max_abs_diff(ref));
-  return state.max_abs_diff(ref) < 1e-10 ? 0 : 1;
+              r1.state.max_abs_diff(ref));
+  return r1.state.max_abs_diff(ref) < 1e-10 ? 0 : 1;
 }

@@ -13,8 +13,9 @@
 
 namespace hisim::dist {
 
-double DistRunReport::total_seconds_overlapped() const {
-  if (part_times.empty()) return total_seconds();
+double pipelined_total_seconds(
+    std::span<const std::pair<double, double>> part_times, double fallback) {
+  if (part_times.empty()) return fallback;
   double t = part_times.front().first;
   for (std::size_t i = 0; i < part_times.size(); ++i) {
     const double next_comm =
@@ -24,24 +25,34 @@ double DistRunReport::total_seconds_overlapped() const {
   return t;
 }
 
+double DistRunReport::total_seconds_overlapped() const {
+  return pipelined_total_seconds(part_times, total_seconds());
+}
+
 double DistRunReport::comm_ratio() const {
   const double total = total_seconds();
   return total > 0.0 ? comm.modeled_max_seconds / total : 0.0;
 }
 
-DistRunReport DistributedHiSvSim::run(const Circuit& c, const Options& opt,
-                                      DistState& state) const {
+DistPlan compile_plan(const Circuit& c, const DistOptions& opt,
+                      const RankLayout* initial) {
+  Timer compile_timer;
   const unsigned n = c.num_qubits();
   const unsigned p = opt.process_qubits;
   HISIM_CHECK_MSG(p > 0 && p < n, "need 0 < process_qubits < num_qubits");
-  HISIM_CHECK_MSG(state.num_qubits() == n && state.num_ranks() == (1u << p),
-                  "state shape does not match circuit/options");
   const unsigned l = n - p;
-  const unsigned v = state.num_ranks();
-  CommBackend& backend = opt.backend ? *opt.backend : serial_backend();
 
   partition::PartitionOptions po = opt.part;
   po.limit = po.limit == 0 ? l : std::min(po.limit, l);
+
+  DistPlan plan;
+  plan.num_qubits = n;
+  plan.process_qubits = p;
+  plan.level2_limit = opt.level2_limit;
+  plan.initial_layout = initial ? *initial : RankLayout::identity(n, p);
+  HISIM_CHECK_MSG(plan.initial_layout.num_qubits() == n &&
+                      plan.initial_layout.process_qubits() == p,
+                  "initial layout shape does not match circuit/options");
 
   // Gates wider than a shard can never be made fully local; lower them
   // first (Barenco recursion) so a valid one-exchange-per-part schedule
@@ -49,93 +60,110 @@ DistRunReport DistributedHiSvSim::run(const Circuit& c, const Options& opt,
   // partitioner below.
   unsigned max_arity = 0;
   for (const Gate& g : c.gates()) max_arity = std::max(max_arity, g.arity());
-  Circuit lowered;
-  if (max_arity > po.limit) lowered = lower(c, std::max(po.limit, 2u));
-  const Circuit& run_c = max_arity > po.limit ? lowered : c;
+  plan.circuit = max_arity > po.limit ? lower(c, std::max(po.limit, 2u)) : c;
 
-  const dag::CircuitDag dag(run_c);
+  const dag::CircuitDag dag(plan.circuit);
   const partition::Partitioning parts = partition::make_partition(dag, po);
+  plan.partition_seconds = parts.partition_seconds;
+
+  // Walk the layout chain once: each part's target layout depends only on
+  // the previous part's, so the whole exchange schedule — and the gate
+  // remapping it implies — is known before any amplitude exists.
+  const RankLayout* prev = &plan.initial_layout;
+  for (const partition::Part& part : parts.parts) {
+    DistPlan::Step step;
+    step.layout = RankLayout::for_part(n, p, part.qubits, *prev);
+
+    Circuit local(l);
+    for (std::size_t gi : part.gates) {
+      Gate g = plan.circuit.gate(gi);
+      for (Qubit& q : g.qubits)
+        q = static_cast<Qubit>(step.layout.slot_of(q));
+      local.add(std::move(g));
+    }
+    step.local = std::move(local);
+
+    if (opt.level2_limit > 0) {
+      // Second level: partition the part's slot-local sub-circuit with the
+      // cache-sized limit. Booked as partition time, not compute.
+      partition::PartitionOptions po2 = po;
+      po2.limit = std::min(opt.level2_limit, l);
+      const dag::CircuitDag sdag(step.local);
+      step.inner = partition::make_partition(sdag, po2);
+      plan.inner_parts += step.inner.num_parts();
+      plan.partition_seconds += step.inner.partition_seconds;
+    }
+
+    plan.steps.push_back(std::move(step));
+    prev = &plan.steps.back().layout;
+  }
+  plan.compile_seconds = compile_timer.seconds();
+  return plan;
+}
+
+DistRunReport execute_plan(const DistPlan& plan, DistState& state,
+                           const NetworkModel& net, CommBackend* backend_ptr) {
+  const unsigned n = plan.num_qubits;
+  const unsigned p = plan.process_qubits;
+  HISIM_CHECK_MSG(state.num_qubits() == n && state.num_ranks() == (1u << p),
+                  "state shape does not match plan");
+  HISIM_CHECK_MSG(state.layout() == plan.initial_layout,
+                  "state layout does not match the plan's initial layout");
+  const unsigned v = state.num_ranks();
+  CommBackend& backend = backend_ptr ? *backend_ptr : serial_backend();
 
   DistRunReport rep;
-  rep.parts = parts.num_parts();
+  rep.parts = plan.num_parts();
+  rep.inner_parts = plan.inner_parts;
   rep.ranks = 1u << p;
-  rep.partition_seconds = parts.partition_seconds;
+  rep.partition_seconds = plan.partition_seconds;
 
-  for (const partition::Part& part : parts.parts) {
+  for (const DistPlan::Step& step : plan.steps) {
     // (1) Relayout: one collective exchange at most, none if the part's
     // qubits are already local. The exchange is started asynchronously;
     // each rank below waits only for its own shard before applying.
     Timer wall;
     const double comm_before = rep.comm.modeled_max_seconds;
-    const RankLayout target =
-        RankLayout::for_part(n, p, part.qubits, state.layout());
     const std::unique_ptr<ExchangeHandle> handle =
-        state.redistribute_async(target, opt.net, rep.comm, backend);
+        state.redistribute_async(step.layout, net, rep.comm, backend);
     const double part_comm = rep.comm.modeled_max_seconds - comm_before;
     // The comm window on the part clock: movement started (at most) here
     // and finishes handle->finished_after() later (0 for a synchronous
     // backend — its movement already happened).
     const double comm_begin = wall.seconds();
 
-    // (2) Local apply: every part qubit now sits on a slot below l, so
-    // each gate is block-diagonal over ranks and applies shard-locally.
-    // Ranks are independent, so the apply loop fans out over
-    // parallel::for_range (one rank per chunk); shard contents are
+    // (2) Local apply: the plan already holds the part's gates remapped to
+    // local slots, so each gate is block-diagonal over ranks and applies
+    // shard-locally. Ranks are independent, so the apply loop fans out
+    // over parallel::for_range (one rank per chunk); shard contents are
     // identical to a serial sweep.
-    std::vector<Qubit> slot_of(n);
-    for (Qubit q = 0; q < n; ++q)
-      slot_of[q] = static_cast<Qubit>(state.layout().slot_of(q));
-
     std::mutex comp_mu;
     // Compute window on the part clock: first rank starting to apply
     // (after its shard arrived) → last rank finished.
     double comp_begin = -1.0, comp_end = 0.0;
-    auto apply_ranks = [&](const std::function<void(unsigned)>& apply_rank) {
-      parallel::for_range(
-          0, v,
-          [&](Index lo, Index hi) {
-            for (Index r = lo; r < hi; ++r) {
-              const unsigned rank = static_cast<unsigned>(r);
-              if (handle) handle->wait_shard(rank);
-              const double t0 = wall.seconds();
-              apply_rank(rank);
-              const double t1 = wall.seconds();
-              std::lock_guard lk(comp_mu);
-              if (comp_begin < 0.0 || t0 < comp_begin) comp_begin = t0;
-              comp_end = std::max(comp_end, t1);
+    parallel::for_range(
+        0, v,
+        [&](Index lo, Index hi) {
+          for (Index r = lo; r < hi; ++r) {
+            const unsigned rank = static_cast<unsigned>(r);
+            if (handle) handle->wait_shard(rank);
+            const double t0 = wall.seconds();
+            if (step.inner.num_parts() == 0) {
+              for (const Gate& g : step.local.gates())
+                sv::apply_gate(state.local(rank), g);
+            } else {
+              sv::HierarchicalStats scratch;  // per-rank: run_part mutates it
+              for (const partition::Part& ip : step.inner.parts)
+                sv::run_part(step.local, ip.gates, ip.qubits,
+                             state.local(rank), scratch);
             }
-          },
-          /*grain=*/1);
-    };
-
-    if (opt.level2_limit == 0) {
-      apply_ranks([&](unsigned r) {
-        for (std::size_t gi : part.gates)
-          sv::apply_gate_remapped(state.local(r), run_c.gate(gi), slot_of);
-      });
-    } else {
-      // Second level: re-partition the part's sub-circuit (expressed on
-      // local slots) with the cache-sized limit and run it through the
-      // gather-execute-scatter machinery on every shard. The second-level
-      // partitioning cost is booked as partition time, not compute.
-      Circuit sub(l);
-      for (std::size_t gi : part.gates) {
-        Gate g = run_c.gate(gi);
-        for (Qubit& q : g.qubits) q = slot_of[q];
-        sub.add(std::move(g));
-      }
-      partition::PartitionOptions po2 = po;
-      po2.limit = std::min(opt.level2_limit, l);
-      const dag::CircuitDag sdag(sub);
-      const partition::Partitioning inner = partition::make_partition(sdag, po2);
-      rep.inner_parts += inner.num_parts();
-      rep.partition_seconds += inner.partition_seconds;
-      apply_ranks([&](unsigned r) {
-        sv::HierarchicalStats scratch;  // per-rank: run_part mutates it
-        for (const partition::Part& ip : inner.parts)
-          sv::run_part(sub, ip.gates, ip.qubits, state.local(r), scratch);
-      });
-    }
+            const double t1 = wall.seconds();
+            std::lock_guard lk(comp_mu);
+            if (comp_begin < 0.0 || t0 < comp_begin) comp_begin = t0;
+            comp_end = std::max(comp_end, t1);
+          }
+        },
+        /*grain=*/1);
 
     const double part_comp = comp_begin < 0.0 ? 0.0 : comp_end - comp_begin;
     if (handle) {
@@ -153,6 +181,12 @@ DistRunReport DistributedHiSvSim::run(const Circuit& c, const Options& opt,
     rep.part_times.emplace_back(part_comm, part_comp);
   }
   return rep;
+}
+
+DistRunReport DistributedHiSvSim::run(const Circuit& c, const Options& opt,
+                                      DistState& state) const {
+  const DistPlan plan = compile_plan(c, opt, &state.layout());
+  return execute_plan(plan, state, opt.net, opt.backend);
 }
 
 }  // namespace hisim::dist

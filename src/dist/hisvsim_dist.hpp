@@ -1,5 +1,6 @@
 #pragma once
 
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -9,6 +10,15 @@
 #include "partition/partition.hpp"
 
 namespace hisim::dist {
+
+/// Pipelined-total estimate (paper Sec. V-C) over per-part (modeled comm,
+/// measured compute) pairs: while a rank computes part i it can already
+/// receive the exchange for part i+1, so
+///   T = comm_1 + sum_i max(compute_i, comm_{i+1})   (comm_{k+1} = 0).
+/// Returns `fallback` when no per-part times were recorded. The single
+/// definition shared by DistRunReport and hisim::Result.
+double pipelined_total_seconds(
+    std::span<const std::pair<double, double>> part_times, double fallback);
 
 /// Consolidated accounting of one distributed run: measured compute and
 /// exchange wall-clock time, modeled network time, and the per-part
@@ -64,6 +74,69 @@ struct DistRunReport {
   double comm_ratio() const;
 };
 
+/// Configuration of a distributed run (formerly nested as
+/// DistributedHiSvSim::Options, which remains an alias).
+struct DistOptions {
+  /// p: the run uses 2^p virtual ranks; each shard holds 2^(n-p)
+  /// amplitudes. Must match the DistState passed to run().
+  unsigned process_qubits = 0;
+  /// First-level partitioning configuration. A limit of 0 (or one
+  /// larger than n - p) is clamped to the local qubit count.
+  partition::PartitionOptions part;
+  /// Nonzero enables a second, cache-sized partitioning level inside
+  /// every part (paper Sec. IV multi-level).
+  unsigned level2_limit = 0;
+  NetworkModel net;
+  /// Exchange backend (not owned). nullptr = serial_backend().
+  CommBackend* backend = nullptr;
+};
+
+/// Compiled form of one distributed run: everything that does not depend
+/// on amplitude values — the (possibly lowered) circuit, the partitioning,
+/// the per-part target layouts (the exchange schedule), the part gates
+/// remapped onto local slots, and the optional cache-sized second-level
+/// partitioning — computed once and reusable across any number of
+/// executions. Immutable after compile_plan(); safe to share between
+/// threads executing concurrently on separate DistStates.
+struct DistPlan {
+  unsigned num_qubits = 0;
+  unsigned process_qubits = 0;   // p: 2^p virtual ranks
+  unsigned level2_limit = 0;     // nonzero = steps carry inner partitions
+  Circuit circuit;               // lowered when wide gates required it
+  RankLayout initial_layout;     // layout the exchange schedule starts from
+  std::size_t inner_parts = 0;   // total second-level parts across steps
+  double partition_seconds = 0;  // partitioning share of compile_seconds
+  double compile_seconds = 0;    // full wall-clock cost of compile_plan()
+
+  /// One entry per first-level part, in execution order.
+  struct Step {
+    RankLayout layout;   // post-exchange layout (== previous when no move)
+    /// The part's gates with qubits remapped to local slots under
+    /// `layout` — ready for a direct shard-local apply.
+    Circuit local;
+    /// Second-level partitioning of `local` (empty when level2_limit == 0).
+    partition::Partitioning inner;
+  };
+  std::vector<Step> steps;
+
+  std::size_t num_parts() const { return steps.size(); }
+};
+
+/// Builds the execution plan for `c` under `opt` (opt.net / opt.backend are
+/// execution-time concerns and ignored here). `initial` is the layout the
+/// target state will carry when execution starts; nullptr = identity.
+/// Throws if an arity-2 gate exceeds the local qubit count.
+DistPlan compile_plan(const Circuit& c, const DistOptions& opt,
+                      const RankLayout* initial = nullptr);
+
+/// Runs a compiled plan on `state` (whose layout must equal
+/// plan.initial_layout). Repeatable: only amplitudes move; no partitioning
+/// or layout planning happens here. The report's parts/partition_seconds
+/// are copied from the plan so existing consumers see unchanged totals.
+DistRunReport execute_plan(const DistPlan& plan, DistState& state,
+                           const NetworkModel& net,
+                           CommBackend* backend = nullptr);
+
 /// The paper's distributed hierarchical simulator (Sec. V), executed on
 /// simulated ranks: partition the circuit so every part fits in one
 /// rank's shard, then per part (1) redistribute amplitudes so the part's
@@ -86,24 +159,13 @@ struct DistRunReport {
 /// comm/compute overlap of Sec. V-C, measured rather than modeled.
 class DistributedHiSvSim {
  public:
-  struct Options {
-    /// p: the run uses 2^p virtual ranks; each shard holds 2^(n-p)
-    /// amplitudes. Must match the DistState passed to run().
-    unsigned process_qubits = 0;
-    /// First-level partitioning configuration. A limit of 0 (or one
-    /// larger than n - p) is clamped to the local qubit count.
-    partition::PartitionOptions part;
-    /// Nonzero enables a second, cache-sized partitioning level inside
-    /// every part (paper Sec. IV multi-level).
-    unsigned level2_limit = 0;
-    NetworkModel net;
-    /// Exchange backend (not owned). nullptr = serial_backend().
-    CommBackend* backend = nullptr;
-  };
+  using Options = DistOptions;
 
   /// Runs `c` on `state` (which may carry any layout; it is redistributed
   /// as needed). Throws if a gate's arity exceeds the local qubit count —
-  /// no valid single-exchange-per-part schedule exists then.
+  /// no valid single-exchange-per-part schedule exists then. Equivalent to
+  /// compile_plan() followed by execute_plan(); callers that execute a
+  /// circuit more than once should hold the plan instead.
   DistRunReport run(const Circuit& c, const Options& opt,
                     DistState& state) const;
 };

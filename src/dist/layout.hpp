@@ -26,6 +26,10 @@ namespace hisim::dist {
 /// the only communication HiSVSIM performs.
 class RankLayout {
  public:
+  /// Empty (0-qubit) placeholder so plan/report structs can default-
+  /// construct; every real layout comes from the validating constructors.
+  RankLayout() = default;
+
   /// Builds a layout from an explicit qubit→slot map: slot_of[q] is the
   /// slot of qubit q. Throws unless slot_of is a permutation of [0, n).
   RankLayout(unsigned num_qubits, unsigned process_qubits,

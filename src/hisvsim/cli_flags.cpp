@@ -1,0 +1,133 @@
+#include "hisvsim/cli_flags.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace hisim::cli {
+namespace {
+
+/// Strict unsigned parse: the whole value must be digits and fit `max`
+/// (no silent truncation at the narrowing casts below).
+unsigned long long parse_uint(
+    const std::string& flag, const std::string& value,
+    unsigned long long max = std::numeric_limits<unsigned>::max()) {
+  HISIM_CHECK_MSG(!value.empty(), flag << " needs a value");
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+  HISIM_CHECK_MSG(end && *end == '\0' && value[0] != '-',
+                  flag << "=" << value << " is not a non-negative integer");
+  HISIM_CHECK_MSG(errno != ERANGE && v <= max,
+                  flag << "=" << value << " is out of range (max " << max
+                       << ")");
+  return v;
+}
+
+partition::Strategy parse_strategy(const std::string& s) {
+  if (s == "nat") return partition::Strategy::Nat;
+  if (s == "dfs") return partition::Strategy::Dfs;
+  if (s == "dagp") return partition::Strategy::DagP;
+  throw Error("unknown strategy '" + s + "' (expected dagp, dfs, nat)");
+}
+
+}  // namespace
+
+Flags parse_flags(const std::vector<std::string>& args) {
+  Flags f;
+  for (const std::string& a : args) {
+    const auto val = [&a](const char* name) -> const char* {
+      const std::size_t n = std::char_traits<char>::length(name);
+      return a.rfind(name, 0) == 0 ? a.c_str() + n : nullptr;
+    };
+    if (const char* v = val("--qubits=")) {
+      f.qubits = static_cast<unsigned>(parse_uint("--qubits", v));
+    } else if (const char* v = val("--limit=")) {
+      f.limit = static_cast<unsigned>(parse_uint("--limit", v));
+    } else if (const char* v = val("--ranks=")) {
+      const unsigned long long r = parse_uint("--ranks", v);
+      HISIM_CHECK_MSG(r > 0 && (r & (r - 1)) == 0,
+                      "--ranks=" << r
+                                 << " is not a power of two: ranks are "
+                                    "simulated as 2^p processes (use e.g. "
+                                 << std::bit_ceil(std::max(r, 2ull)) << ")");
+      unsigned p = 0;
+      while ((1ull << p) < r) ++p;
+      f.ranks_p = p;
+    } else if (const char* v = val("--level2=")) {
+      f.level2 = static_cast<unsigned>(parse_uint("--level2", v));
+    } else if (const char* v = val("--shots=")) {
+      f.shots = static_cast<std::size_t>(parse_uint(
+          "--shots", v, std::numeric_limits<std::size_t>::max()));
+    } else if (const char* v = val("--dot=")) {
+      f.dot = v;
+    } else if (const char* v = val("--strategy=")) {
+      f.strategy = parse_strategy(v);
+    } else if (const char* v = val("--backend=")) {
+      f.backend = dist::parse_backend(v);
+      f.has_backend = true;
+    } else if (const char* v = val("--target=")) {
+      f.target = parse_target(v);
+      f.has_target = true;
+    } else if (a == "--json") {
+      f.json = true;
+    } else if (a == "--exact") {
+      f.exact = true;
+    } else {
+      throw Error("unknown flag: " + a);
+    }
+  }
+  return f;
+}
+
+Target effective_target(const Flags& f) {
+  if (f.has_target) {
+    // Reject contradictions instead of silently ignoring a flag — the
+    // same policy that turned the old --ranks rounding into an error.
+    HISIM_CHECK_MSG(!target_is_distributed(f.target) || f.ranks_p > 0,
+                    "--target=" << target_name(f.target)
+                                << " requires --ranks=R with R >= 2 a power "
+                                   "of two (--ranks=1 means single-node)");
+    HISIM_CHECK_MSG(target_is_distributed(f.target) || f.ranks_p == 0,
+                    "--ranks has no effect with --target="
+                        << target_name(f.target));
+    if (f.has_backend) {
+      HISIM_CHECK_MSG(f.target == Target::DistributedSerial ||
+                          f.target == Target::DistributedThreaded,
+                      "--backend has no effect with --target="
+                          << target_name(f.target));
+      HISIM_CHECK_MSG(f.target == target_for_backend(f.backend),
+                      "--target=" << target_name(f.target)
+                                  << " contradicts --backend="
+                                  << dist::backend_kind_name(f.backend)
+                                  << " (drop one of the two)");
+    }
+    HISIM_CHECK_MSG(f.level2 == 0 || f.target == Target::Multilevel ||
+                        f.target == Target::DistributedSerial ||
+                        f.target == Target::DistributedThreaded,
+                    "--level2 has no effect with --target="
+                        << target_name(f.target));
+    return f.target;
+  }
+  HISIM_CHECK_MSG(!f.has_backend || f.ranks_p > 0,
+                  "--backend requires --ranks=R (or a distributed --target)");
+  if (f.ranks_p > 0) return target_for_backend(f.backend);
+  if (f.level2 > 0) return Target::Multilevel;
+  return Target::Hierarchical;
+}
+
+Options engine_options(const Flags& f) {
+  Options o;
+  o.target = effective_target(f);
+  o.strategy = f.strategy;
+  o.limit = f.limit;
+  o.level2_limit = f.level2;
+  o.process_qubits = f.ranks_p;
+  return o;
+}
+
+}  // namespace hisim::cli

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dist/backend.hpp"
+#include "hisvsim/engine.hpp"
+#include "partition/partition.hpp"
+
+/// Flag parsing for the `hisim` CLI, factored into the library so it is
+/// unit-testable (tests/test_cli_flags.cpp) and throws hisim::Error with
+/// actionable messages instead of silently "fixing" bad input.
+namespace hisim::cli {
+
+struct Flags {
+  unsigned qubits = 14;
+  unsigned limit = 0;
+  /// Process qubits p: --ranks=R requires R = 2^p. R = 1 gives p = 0,
+  /// which (matching the old CLI) means single-node execution.
+  unsigned ranks_p = 0;
+  unsigned level2 = 0;
+  std::size_t shots = 0;
+  bool json = false;
+  bool exact = false;
+  std::string dot;
+  partition::Strategy strategy = partition::Strategy::DagP;
+  dist::BackendKind backend = dist::BackendKind::Serial;
+  bool has_backend = false;  // --backend= given explicitly
+  /// Explicit --target= wins; otherwise derived (see effective_target).
+  /// A target that contradicts --backend/--level2 is rejected.
+  bool has_target = false;
+  Target target = Target::Hierarchical;
+};
+
+/// Parses `args` (flags only, no program/command words). Throws
+/// hisim::Error on an unknown flag, a malformed number, an unknown
+/// strategy/backend/target name, or a --ranks value that is not a power
+/// of two (ranks map to 2^p simulated processes — a non-power-of-two
+/// count has no p and used to be silently rounded up).
+Flags parse_flags(const std::vector<std::string>& args);
+
+/// The target a `hisim run` uses: the explicit --target if given, else
+/// derived from the other flags — distributed-serial/-threaded (per
+/// --backend) when --ranks is set, multilevel when --level2 is set,
+/// hierarchical otherwise. Throws when an explicit target contradicts the
+/// flags it needs (e.g. a distributed target without --ranks).
+Target effective_target(const Flags& f);
+
+/// Engine options equivalent to `f` for a `hisim run` invocation.
+Options engine_options(const Flags& f);
+
+}  // namespace hisim::cli

@@ -1,0 +1,431 @@
+#include "hisvsim/engine.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "dag/circuit_dag.hpp"
+#include "dist/backend.hpp"
+#include "dist/iqs_baseline.hpp"
+#include "partition/multilevel.hpp"
+#include "sv/hierarchical.hpp"
+#include "sv/simulator.hpp"
+
+namespace hisim {
+
+const char* target_name(Target t) {
+  switch (t) {
+    case Target::Flat: return "flat";
+    case Target::Hierarchical: return "hierarchical";
+    case Target::Multilevel: return "multilevel";
+    case Target::DistributedSerial: return "distributed-serial";
+    case Target::DistributedThreaded: return "distributed-threaded";
+    case Target::IqsBaseline: return "iqs-baseline";
+  }
+  return "?";
+}
+
+Target parse_target(const std::string& name) {
+  for (Target t : {Target::Flat, Target::Hierarchical, Target::Multilevel,
+                   Target::DistributedSerial, Target::DistributedThreaded,
+                   Target::IqsBaseline})
+    if (name == target_name(t)) return t;
+  throw Error("unknown target '" + name +
+              "' (expected flat, hierarchical, multilevel, "
+              "distributed-serial, distributed-threaded, iqs-baseline)");
+}
+
+bool target_is_distributed(Target t) {
+  return t == Target::DistributedSerial || t == Target::DistributedThreaded ||
+         t == Target::IqsBaseline;
+}
+
+Target target_for_backend(dist::BackendKind kind) {
+  return kind == dist::BackendKind::Threaded ? Target::DistributedThreaded
+                                             : Target::DistributedSerial;
+}
+
+namespace detail {
+
+/// The immutable compiled state an ExecutionPlan shares. Everything here
+/// is written once by Engine::compile and only read afterwards.
+struct PlanImpl {
+  Options opt;
+  Circuit circuit;  // single-node / IQS targets execute this directly
+  unsigned effective_limit = 0;
+  unsigned effective_level2 = 0;
+  double compile_seconds = 0.0;
+  double partition_seconds = 0.0;
+  std::size_t parts = 0;
+  std::size_t inner_parts = 0;
+  unsigned ranks = 0;  // 0 for single-node targets
+
+  partition::Partitioning single;     // Target::Hierarchical
+  partition::TwoLevelPartitioning two;  // Target::Multilevel
+  dist::DistPlan dplan;               // Target::Distributed*
+
+  const Circuit& executed_circuit() const {
+    return target_is_distributed(opt.target) &&
+                   opt.target != Target::IqsBaseline
+               ? dplan.circuit
+               : circuit;
+  }
+};
+
+}  // namespace detail
+
+using detail::PlanImpl;
+
+namespace {
+
+/// Working-set limit actually used: explicit limit capped at the circuit
+/// width, else the LLC-sized default (2^21 amplitudes = 32 MiB).
+unsigned effective_limit(const Options& opt, unsigned num_qubits) {
+  if (opt.limit != 0) return std::min(opt.limit, num_qubits);
+  return std::min(21u, num_qubits);
+}
+
+dist::CommBackend* backend_for_target(Target t) {
+  return t == Target::DistributedThreaded ? &dist::threaded_backend()
+                                          : &dist::serial_backend();
+}
+
+void append_kv(std::ostringstream& os, bool& first, const char* key) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "  \"" << key << "\": ";
+}
+
+void json_num(std::ostringstream& os, bool& first, const char* key,
+              double v) {
+  append_kv(os, first, key);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  os << buf;
+}
+
+void json_int(std::ostringstream& os, bool& first, const char* key,
+              unsigned long long v) {
+  append_kv(os, first, key);
+  os << v;
+}
+
+void json_str(std::ostringstream& os, bool& first, const char* key,
+              const std::string& v) {
+  append_kv(os, first, key);
+  os << '"';
+  for (char ch : v) {
+    if (ch == '"' || ch == '\\') os << '\\';
+    os << ch;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+double Result::total_seconds() const {
+  if (ranks > 0) return compute_seconds + comm.modeled_max_seconds;
+  return gather_seconds + apply_seconds + scatter_seconds;
+}
+
+double Result::total_seconds_overlapped() const {
+  return dist::pipelined_total_seconds(part_times, total_seconds());
+}
+
+double Result::comm_ratio() const {
+  const double total = total_seconds();
+  return total > 0.0 ? comm.modeled_max_seconds / total : 0.0;
+}
+
+std::string Result::to_json() const {
+  std::ostringstream os;
+  bool first = true;
+  os << "{\n";
+  json_str(os, first, "circuit", circuit);
+  json_int(os, first, "qubits", qubits);
+  json_int(os, first, "gates", gates);
+  json_str(os, first, "target", target_name(target));
+  json_str(os, first, "strategy", partition::strategy_name(strategy));
+  json_int(os, first, "parts", parts);
+  json_int(os, first, "inner_parts", inner_parts);
+  json_num(os, first, "compile_seconds", compile_seconds);
+  json_num(os, first, "partition_seconds", partition_seconds);
+  // Deliberately NOT named "execute_seconds": the pre-Engine CLI schema
+  // used that key for gate-apply time (now "apply_seconds"), and a silent
+  // meaning change would skew old consumers; a missing key fails loudly.
+  json_num(os, first, "execute_wall_seconds", execute_seconds);
+  if (ranks > 0) {
+    json_int(os, first, "ranks", ranks);
+    json_int(os, first, "comm_exchanges", comm.exchanges);
+    json_int(os, first, "comm_messages", comm.messages_total);
+    json_int(os, first, "comm_bytes", comm.bytes_total);
+    json_num(os, first, "comm_seconds_modeled", comm.modeled_max_seconds);
+    json_num(os, first, "comm_seconds_modeled_avg", comm.modeled_avg_seconds);
+    json_num(os, first, "comm_seconds_measured", measured_comm_seconds);
+    json_num(os, first, "wall_seconds_measured", measured_wall_seconds);
+    json_num(os, first, "overlap_seconds_measured", measured_overlap_seconds);
+    json_num(os, first, "compute_seconds", compute_seconds);
+    json_num(os, first, "total_seconds_overlapped", total_seconds_overlapped());
+    json_num(os, first, "comm_ratio", comm_ratio());
+  } else {
+    json_num(os, first, "gather_seconds", gather_seconds);
+    json_num(os, first, "apply_seconds", apply_seconds);
+    json_num(os, first, "scatter_seconds", scatter_seconds);
+    json_int(os, first, "outer_bytes_moved", outer_bytes_moved);
+    json_int(os, first, "inner_bytes_touched", inner_bytes_touched);
+    json_num(os, first, "flops", flops);
+  }
+  json_num(os, first, "total_seconds", total_seconds());
+  json_int(os, first, "shots", samples.size());
+  if (!observables.empty()) {
+    append_kv(os, first, "observables");
+    os << '[';
+    for (std::size_t i = 0; i < observables.size(); ++i) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.12g", observables[i]);
+      os << (i ? "," : "") << buf;
+    }
+    os << ']';
+  }
+  append_kv(os, first, "norm");
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.12f", norm);
+  os << buf << "\n}";
+  return os.str();
+}
+
+const Options& ExecutionPlan::options() const {
+  HISIM_CHECK_MSG(impl_, "empty ExecutionPlan");
+  return impl_->opt;
+}
+Target ExecutionPlan::target() const { return options().target; }
+const Circuit& ExecutionPlan::circuit() const {
+  HISIM_CHECK_MSG(impl_, "empty ExecutionPlan");
+  return impl_->executed_circuit();
+}
+std::size_t ExecutionPlan::num_parts() const {
+  HISIM_CHECK_MSG(impl_, "empty ExecutionPlan");
+  return impl_->parts;
+}
+std::size_t ExecutionPlan::num_inner_parts() const {
+  HISIM_CHECK_MSG(impl_, "empty ExecutionPlan");
+  return impl_->inner_parts;
+}
+unsigned ExecutionPlan::num_ranks() const {
+  HISIM_CHECK_MSG(impl_, "empty ExecutionPlan");
+  return impl_->ranks;
+}
+double ExecutionPlan::compile_seconds() const {
+  HISIM_CHECK_MSG(impl_, "empty ExecutionPlan");
+  return impl_->compile_seconds;
+}
+double ExecutionPlan::partition_seconds() const {
+  HISIM_CHECK_MSG(impl_, "empty ExecutionPlan");
+  return impl_->partition_seconds;
+}
+
+ExecutionPlan Engine::compile(const Circuit& c, const Options& opt) {
+  return Engine(opt).compile(c);
+}
+
+ExecutionPlan Engine::compile(const Circuit& c) const {
+  Timer compile_timer;
+  auto impl = std::make_shared<PlanImpl>();
+  impl->opt = opt_;
+  // The distributed targets execute dplan.circuit (the possibly-lowered
+  // copy compile_plan makes); storing the input here too would just
+  // double the plan's circuit memory.
+  if (opt_.target != Target::DistributedSerial &&
+      opt_.target != Target::DistributedThreaded)
+    impl->circuit = c;
+  const unsigned n = c.num_qubits();
+
+  switch (opt_.target) {
+    case Target::Flat:
+      impl->parts = 1;  // the whole circuit, unpartitioned
+      break;
+
+    case Target::Hierarchical: {
+      impl->effective_limit = effective_limit(opt_, n);
+      const dag::CircuitDag dag(c);
+      partition::PartitionOptions po;
+      po.strategy = opt_.strategy;
+      po.limit = impl->effective_limit;
+      po.seed = opt_.seed;
+      impl->single = partition::make_partition(dag, po);
+      impl->parts = impl->single.num_parts();
+      impl->partition_seconds = impl->single.partition_seconds;
+      break;
+    }
+
+    case Target::Multilevel: {
+      impl->effective_limit = effective_limit(opt_, n);
+      impl->effective_level2 =
+          opt_.level2_limit == 0
+              ? std::max(2u, impl->effective_limit / 2)
+              : std::min(opt_.level2_limit, impl->effective_limit);
+      const dag::CircuitDag dag(c);
+      partition::PartitionOptions po;
+      po.strategy = opt_.strategy;
+      po.limit = impl->effective_limit;
+      po.seed = opt_.seed;
+      impl->two = partition::partition_two_level(dag, po,
+                                                 impl->effective_level2);
+      impl->parts = impl->two.level1.num_parts();
+      impl->inner_parts = impl->two.total_inner_parts();
+      impl->partition_seconds = impl->two.level1.partition_seconds;
+      break;
+    }
+
+    case Target::DistributedSerial:
+    case Target::DistributedThreaded: {
+      HISIM_CHECK_MSG(opt_.process_qubits > 0,
+                      "distributed targets require process_qubits > 0");
+      dist::DistOptions dopt;
+      dopt.process_qubits = opt_.process_qubits;
+      dopt.part.strategy = opt_.strategy;
+      dopt.part.limit = opt_.limit;  // 0 = clamp to local qubits
+      dopt.part.seed = opt_.seed;
+      dopt.level2_limit = opt_.level2_limit;
+      impl->dplan = dist::compile_plan(c, dopt);
+      impl->parts = impl->dplan.num_parts();
+      impl->inner_parts = impl->dplan.inner_parts;
+      impl->partition_seconds = impl->dplan.partition_seconds;
+      impl->ranks = 1u << opt_.process_qubits;
+      break;
+    }
+
+    case Target::IqsBaseline:
+      HISIM_CHECK_MSG(opt_.process_qubits > 0 && opt_.process_qubits < n,
+                      "iqs-baseline requires 0 < process_qubits < qubits");
+      impl->ranks = 1u << opt_.process_qubits;
+      break;
+  }
+
+  impl->compile_seconds = compile_timer.seconds();
+  return ExecutionPlan(std::move(impl));
+}
+
+namespace {
+
+/// Loads a full state vector into the identity-layout shards of `st`.
+void load_initial(dist::DistState& st, const sv::StateVector& init) {
+  HISIM_CHECK_MSG(init.num_qubits() == st.num_qubits(),
+                  "initial state has " << init.num_qubits()
+                                       << " qubits, plan expects "
+                                       << st.num_qubits());
+  const unsigned l = st.layout().local_qubits();
+  const Index ldim = st.layout().local_dim();
+  for (unsigned r = 0; r < st.num_ranks(); ++r) {
+    const Index base = Index{r} << l;
+    sv::StateVector& shard = st.local(r);
+    for (Index i = 0; i < ldim; ++i) shard[i] = init[base | i];
+  }
+}
+
+}  // namespace
+
+Result ExecutionPlan::execute(const ExecOptions& opts) const {
+  HISIM_CHECK_MSG(impl_, "execute() called on an empty ExecutionPlan");
+  const PlanImpl& plan = *impl_;
+  const Options& opt = plan.opt;
+  const Circuit& c = plan.executed_circuit();
+  const unsigned n = c.num_qubits();
+
+  Result r;
+  r.circuit = c.name();
+  r.qubits = n;
+  r.gates = c.num_gates();
+  r.target = opt.target;
+  r.strategy = opt.strategy;
+  r.parts = plan.parts;
+  r.inner_parts = plan.inner_parts;
+  r.ranks = plan.ranks;
+  r.compile_seconds = plan.compile_seconds;
+  r.partition_seconds = plan.partition_seconds;
+
+  sv::StateVector state;
+  Timer wall;
+  if (!target_is_distributed(opt.target)) {
+    if (opts.initial_state) {
+      HISIM_CHECK_MSG(opts.initial_state->num_qubits() == n,
+                      "initial state has "
+                          << opts.initial_state->num_qubits()
+                          << " qubits, plan expects " << n);
+      state = *opts.initial_state;
+    } else {
+      state = sv::StateVector(n);
+    }
+    switch (opt.target) {
+      case Target::Flat: {
+        Timer t;
+        sv::FlatSimulator().run(c, state);
+        r.apply_seconds = t.seconds();
+        break;
+      }
+      case Target::Hierarchical:
+      case Target::Multilevel: {
+        const sv::HierarchicalStats stats =
+            opt.target == Target::Hierarchical
+                ? sv::HierarchicalSimulator().run(c, plan.single, state)
+                : sv::HierarchicalSimulator().run(c, plan.two, state);
+        r.gather_seconds = stats.gather_seconds;
+        r.apply_seconds = stats.execute_seconds;
+        r.scatter_seconds = stats.scatter_seconds;
+        r.outer_bytes_moved = stats.outer_bytes_moved;
+        r.inner_bytes_touched = stats.inner_bytes_touched;
+        r.flops = stats.flops;
+        break;
+      }
+      default: break;  // unreachable
+    }
+    r.execute_seconds = wall.seconds();
+  } else {
+    dist::DistState st(n, opt.process_qubits);
+    if (opts.initial_state) load_initial(st, *opts.initial_state);
+    if (opt.target == Target::IqsBaseline) {
+      const dist::IqsRunReport ir =
+          dist::IqsBaselineSimulator().run(c, st, opts.net);
+      r.compute_seconds = ir.compute_seconds;
+      r.comm = ir.comm;
+    } else {
+      const dist::DistRunReport dr = dist::execute_plan(
+          plan.dplan, st, opts.net, backend_for_target(opt.target));
+      r.compute_seconds = dr.compute_seconds;
+      r.comm = dr.comm;
+      r.part_times = dr.part_times;
+      r.measured_comm_seconds = dr.measured_comm_seconds;
+      r.measured_wall_seconds = dr.measured_wall_seconds;
+      r.measured_overlap_seconds = dr.measured_overlap_seconds;
+    }
+    r.execute_seconds = wall.seconds();
+    // Gathering the sharded state is O(2^n); report-only executions
+    // (want_state off, no shots/observables) get the norm from the
+    // shards instead and skip it.
+    if (opts.want_state || opts.shots > 0 || !opts.observables.empty()) {
+      state = st.to_state_vector();
+    } else {
+      double norm = 0.0;
+      for (unsigned rk = 0; rk < st.num_ranks(); ++rk)
+        norm += st.local(rk).norm();
+      r.norm = norm;
+      return r;
+    }
+  }
+
+  r.norm = state.norm();
+  if (opts.shots > 0) {
+    Rng rng(opts.shot_seed);
+    r.samples = sv::sample(state, opts.shots, rng);
+  }
+  r.observables.reserve(opts.observables.size());
+  for (const sv::PauliString& p : opts.observables)
+    r.observables.push_back(sv::expectation(state, p));
+  if (opts.want_state) r.state = std::move(state);
+  return r;
+}
+
+}  // namespace hisim

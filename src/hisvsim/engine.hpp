@@ -1,0 +1,210 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "dist/dist_state.hpp"
+#include "dist/hisvsim_dist.hpp"
+#include "partition/partition.hpp"
+#include "sv/observables.hpp"
+#include "sv/state_vector.hpp"
+
+/// The compile-once / run-many public API of HiSVSIM.
+///
+/// The paper's core claim is that partitioning cost is *amortized* over
+/// execution. This header is that claim as an API: Engine::compile() pays
+/// the full compile cost — multilevel partitioning, wide-gate lowering,
+/// rank-layout planning, the exchange schedule — exactly once and returns
+/// an immutable ExecutionPlan; ExecutionPlan::execute() runs it as many
+/// times as the workload needs (shots, QAOA parameter points, concurrent
+/// requests), each run paying only amplitude movement and gate
+/// application. Plans are cheaply copyable handles to shared immutable
+/// state and safe to execute concurrently from multiple threads.
+namespace hisim {
+
+/// Where and how a compiled circuit executes. Single-node targets operate
+/// on one dense state vector; distributed targets shard it over 2^p
+/// simulated ranks (Options::process_qubits).
+enum class Target {
+  /// Reference flat simulator: every gate applied to the full vector.
+  Flat,
+  /// Single-level gather-execute-scatter over a partitioning (Alg. 1).
+  Hierarchical,
+  /// Two-level partitioning: node-sized parts, cache-sized inner parts.
+  Multilevel,
+  /// Per-part redistribution executor with the synchronous exchange
+  /// backend (reference; deterministic timing).
+  DistributedSerial,
+  /// Same executor with the threaded backend: exchange data movement
+  /// overlaps shard-local compute, overlap is measured.
+  DistributedThreaded,
+  /// IQS-style fixed-layout baseline (one pairwise exchange per gate that
+  /// mixes a process qubit) — the paper's comparison arm.
+  IqsBaseline,
+};
+
+/// "flat" | "hierarchical" | "multilevel" | "distributed-serial" |
+/// "distributed-threaded" | "iqs-baseline".
+const char* target_name(Target t);
+/// Inverse of target_name(); throws hisim::Error on anything else.
+Target parse_target(const std::string& name);
+/// True for the three sharded-state targets.
+bool target_is_distributed(Target t);
+/// The distributed target that runs on the given exchange backend — the
+/// one mapping shared by the CLI, the legacy facade, and the benches.
+Target target_for_backend(dist::BackendKind kind);
+
+/// Compile-time configuration: everything the plan depends on.
+struct Options {
+  Target target = Target::Hierarchical;
+  partition::Strategy strategy = partition::Strategy::DagP;
+  /// Working-set limit Lm. 0 = auto: local qubit count when distributed,
+  /// otherwise the LLC-sized qubit count (21 qubits ~ 32 MiB) capped at
+  /// the circuit width.
+  unsigned limit = 0;
+  /// Second-level (cache) limit for Multilevel and the distributed
+  /// targets' inner level. 0 = auto for Target::Multilevel (half the
+  /// effective limit, at least 2), off for the distributed targets.
+  unsigned level2_limit = 0;
+  /// Number of process ("rank") qubits; 2^p simulated ranks. Required
+  /// (> 0) for the distributed targets, ignored otherwise.
+  unsigned process_qubits = 0;
+  std::uint64_t seed = 0x5eed;
+};
+
+/// Per-execution configuration: everything the plan does *not* depend on.
+struct ExecOptions {
+  /// Starting state; nullptr = |0...0>. Must have the plan's qubit count.
+  const sv::StateVector* initial_state = nullptr;
+  /// Measurement shots drawn from the final state (deterministic for a
+  /// fixed shot_seed). 0 = none.
+  std::size_t shots = 0;
+  std::uint64_t shot_seed = 0xC11;
+  /// Pauli-string observables evaluated on the final state; one value per
+  /// entry lands in Result::observables.
+  std::vector<sv::PauliString> observables;
+  /// When false, Result::state is left empty — report-only runs (e.g. the
+  /// benches) then skip the O(2^n) full-state gather on the sharded
+  /// targets entirely (unless shots/observables require it). norm is
+  /// still reported.
+  bool want_state = true;
+  /// Analytic network model charged during distributed execution. The
+  /// plan does not depend on it, so sweeping network parameters (latency
+  /// / bandwidth sensitivity) is a pure execute loop over one plan.
+  dist::NetworkModel net;
+};
+
+/// Flat, single-headed report of one execution, carrying both the plan's
+/// compile-side accounting (constant across executions of one plan) and
+/// this execution's measurements. to_json() is the single definition of
+/// the report fields used by the CLI and the benchmark drivers.
+struct Result {
+  // -- circuit / configuration identity ------------------------------
+  std::string circuit;
+  unsigned qubits = 0;
+  std::size_t gates = 0;
+  Target target = Target::Hierarchical;
+  partition::Strategy strategy = partition::Strategy::DagP;
+
+  // -- compile side (copied from the plan; identical every execution) -
+  std::size_t parts = 0;
+  std::size_t inner_parts = 0;
+  unsigned ranks = 0;              // 0 for single-node targets
+  double compile_seconds = 0.0;    // full wall cost of Engine::compile()
+  double partition_seconds = 0.0;  // partitioning share of compile
+
+  // -- execute side: single-node gather-execute-scatter breakdown -----
+  double gather_seconds = 0.0;
+  double apply_seconds = 0.0;      // gate execution inside inner vectors
+  double scatter_seconds = 0.0;
+  Index outer_bytes_moved = 0;
+  Index inner_bytes_touched = 0;
+  double flops = 0.0;
+
+  // -- execute side: distributed accounting ---------------------------
+  double compute_seconds = 0.0;    // shard-local apply wall, summed
+  dist::CommStats comm;            // modeled network cost
+  /// One (modeled comm, measured compute) pair per part, execution order.
+  std::vector<std::pair<double, double>> part_times;
+  double measured_comm_seconds = 0.0;
+  double measured_wall_seconds = 0.0;
+  double measured_overlap_seconds = 0.0;
+
+  // -- execute side: totals and outputs -------------------------------
+  /// Measured wall-clock seconds of this execute() call (simulation
+  /// phase; excludes shots/observable post-processing).
+  double execute_seconds = 0.0;
+  double norm = 0.0;
+  sv::StateVector state;           // final state (gathered when sharded)
+  std::vector<Index> samples;      // ExecOptions::shots outcomes
+  std::vector<double> observables; // one per ExecOptions::observables
+
+  /// Modeled serial total: compute + slowest-host comm for distributed
+  /// targets, the gather/apply/scatter sum otherwise.
+  double total_seconds() const;
+  /// Pipelined estimate over part_times (falls back to total_seconds()).
+  double total_seconds_overlapped() const;
+  /// Fraction of total_seconds() spent communicating, in [0, 1].
+  double comm_ratio() const;
+
+  /// Serializes every report field above (not the state or raw samples)
+  /// as a JSON object. The one place report fields are defined.
+  std::string to_json() const;
+};
+
+namespace detail {
+struct PlanImpl;
+}
+
+/// An immutable compiled circuit: cheap to copy (shared handle), safe to
+/// execute from many threads concurrently. Obtain via Engine::compile().
+class ExecutionPlan {
+ public:
+  ExecutionPlan() = default;
+
+  /// Runs the plan once. Every call starts from |0...0> (or
+  /// opts.initial_state), so executions are independent and repeatable:
+  /// the same plan and ExecOptions yield bit-identical states. No
+  /// partitioning, lowering, or layout planning happens here.
+  Result execute(const ExecOptions& opts = {}) const;
+
+  bool valid() const { return impl_ != nullptr; }
+  const Options& options() const;
+  Target target() const;
+  /// The circuit as executed (lowered when wide gates required it).
+  const Circuit& circuit() const;
+  std::size_t num_parts() const;
+  std::size_t num_inner_parts() const;
+  unsigned num_ranks() const;       // 0 for single-node targets
+  double compile_seconds() const;
+  double partition_seconds() const;
+
+ private:
+  friend class Engine;
+  explicit ExecutionPlan(std::shared_ptr<const detail::PlanImpl> impl)
+      : impl_(std::move(impl)) {}
+  std::shared_ptr<const detail::PlanImpl> impl_;
+};
+
+/// Stateless compiler front end: validates Options against the circuit,
+/// then partitions, lowers, and plans layouts once.
+class Engine {
+ public:
+  explicit Engine(Options opt = {}) : opt_(std::move(opt)) {}
+
+  const Options& options() const { return opt_; }
+
+  /// Compiles `c` under this engine's options.
+  ExecutionPlan compile(const Circuit& c) const;
+
+  /// One-shot convenience: Engine(opt).compile(c).
+  static ExecutionPlan compile(const Circuit& c, const Options& opt);
+
+ private:
+  Options opt_;
+};
+
+}  // namespace hisim

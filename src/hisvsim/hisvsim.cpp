@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "dag/circuit_dag.hpp"
 
 namespace hisim {
 
@@ -16,6 +17,22 @@ unsigned HiSvSim::effective_limit(const Circuit& c) const {
   return std::min(21u, c.num_qubits());
 }
 
+Options HiSvSim::engine_options(const Circuit& c, bool distributed) const {
+  Options o;
+  if (distributed) {
+    o.target = target_for_backend(opt_.backend);
+  } else {
+    o.target = opt_.level2_limit > 0 ? Target::Multilevel
+                                     : Target::Hierarchical;
+  }
+  o.strategy = opt_.strategy;
+  o.limit = effective_limit(c);
+  o.level2_limit = opt_.level2_limit;
+  o.process_qubits = opt_.process_qubits;
+  o.seed = opt_.seed;
+  return o;
+}
+
 partition::Partitioning HiSvSim::plan(const Circuit& c) const {
   const dag::CircuitDag dag(c);
   partition::PartitionOptions po;
@@ -26,52 +43,51 @@ partition::Partitioning HiSvSim::plan(const Circuit& c) const {
 }
 
 sv::StateVector HiSvSim::simulate(const Circuit& c, RunReport* report) const {
-  sv::StateVector state(c.num_qubits());
-  RunReport rep;
-  if (opt_.level2_limit == 0) {
-    const partition::Partitioning parts = plan(c);
-    rep.parts = parts.num_parts();
-    rep.partition_seconds = parts.partition_seconds;
-    rep.hier = sv::HierarchicalSimulator().run(c, parts, state);
-  } else {
-    const dag::CircuitDag dag(c);
-    partition::PartitionOptions po;
-    po.strategy = opt_.strategy;
-    po.limit = effective_limit(c);
-    po.seed = opt_.seed;
-    const partition::TwoLevelPartitioning two =
-        partition::partition_two_level(dag, po,
-                                       std::min(opt_.level2_limit, po.limit));
-    rep.parts = two.level1.num_parts();
-    rep.inner_parts = two.total_inner_parts();
-    rep.partition_seconds = two.level1.partition_seconds;
-    rep.hier = sv::HierarchicalSimulator().run(c, two, state);
+  Result r = Engine::compile(c, engine_options(c, false)).execute();
+  if (report) {
+    RunReport rep;
+    rep.parts = r.parts;
+    rep.inner_parts = r.inner_parts;
+    rep.partition_seconds = r.partition_seconds;
+    rep.hier.parts = r.parts;
+    rep.hier.inner_parts = r.inner_parts;
+    rep.hier.gather_seconds = r.gather_seconds;
+    rep.hier.execute_seconds = r.apply_seconds;
+    rep.hier.scatter_seconds = r.scatter_seconds;
+    rep.hier.outer_bytes_moved = r.outer_bytes_moved;
+    rep.hier.inner_bytes_touched = r.inner_bytes_touched;
+    rep.hier.flops = r.flops;
+    *report = rep;
   }
-  if (report) *report = rep;
-  return state;
+  return std::move(r.state);
 }
 
 sv::StateVector HiSvSim::simulate_distributed(const Circuit& c,
                                               RunReport* report) const {
   HISIM_CHECK_MSG(opt_.process_qubits > 0,
                   "simulate_distributed requires process_qubits > 0");
-  dist::DistState state(c.num_qubits(), opt_.process_qubits);
-  dist::DistributedHiSvSim::Options o;
-  o.process_qubits = opt_.process_qubits;
-  o.part.strategy = opt_.strategy;
-  o.part.limit = effective_limit(c);
-  o.part.seed = opt_.seed;
-  o.level2_limit = opt_.level2_limit;
-  o.net = opt_.net;
-  o.backend = &dist::backend_for(opt_.backend);
-  RunReport rep;
-  rep.distributed = true;
-  rep.dist = dist::DistributedHiSvSim().run(c, o, state);
-  rep.parts = rep.dist.parts;
-  rep.inner_parts = rep.dist.inner_parts;
-  rep.partition_seconds = rep.dist.partition_seconds;
-  if (report) *report = rep;
-  return state.to_state_vector();
+  ExecOptions x;
+  x.net = opt_.net;
+  Result r = Engine::compile(c, engine_options(c, true)).execute(x);
+  if (report) {
+    RunReport rep;
+    rep.distributed = true;
+    rep.parts = r.parts;
+    rep.inner_parts = r.inner_parts;
+    rep.partition_seconds = r.partition_seconds;
+    rep.dist.parts = r.parts;
+    rep.dist.inner_parts = r.inner_parts;
+    rep.dist.ranks = r.ranks;
+    rep.dist.partition_seconds = r.partition_seconds;
+    rep.dist.compute_seconds = r.compute_seconds;
+    rep.dist.comm = r.comm;
+    rep.dist.part_times = r.part_times;
+    rep.dist.measured_comm_seconds = r.measured_comm_seconds;
+    rep.dist.measured_wall_seconds = r.measured_wall_seconds;
+    rep.dist.measured_overlap_seconds = r.measured_overlap_seconds;
+    *report = rep;
+  }
+  return std::move(r.state);
 }
 
 }  // namespace hisim

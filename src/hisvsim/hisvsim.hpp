@@ -1,20 +1,18 @@
 #pragma once
 
-#include "circuit/circuit.hpp"
-#include "dist/hisvsim_dist.hpp"
-#include "dist/iqs_baseline.hpp"
-#include "partition/multilevel.hpp"
+#include "hisvsim/engine.hpp"
 #include "partition/partition.hpp"
 #include "sv/hierarchical.hpp"
 #include "sv/simulator.hpp"
 #include "sv/state_vector.hpp"
 
-/// Public facade of the HiSVSIM library: one-call hierarchical simulation
-/// with strategy/limit/rank configuration and a consolidated report. The
-/// lower-level modules (partition::, sv::, dist::) remain available for
-/// fine-grained control; this header is the API a downstream user adopts.
+/// DEPRECATED one-call facade, kept as a thin shim over the Engine /
+/// ExecutionPlan / Result API (hisvsim/engine.hpp) so out-of-tree callers
+/// still build. Every simulate() call re-compiles the circuit — new code
+/// should compile once with hisim::Engine and execute the plan many times.
 namespace hisim {
 
+/// \deprecated Use hisim::Options (engine.hpp). Retained field-for-field.
 struct RunOptions {
   partition::Strategy strategy = partition::Strategy::DagP;
   /// Working-set limit Lm. 0 = auto: local qubit count when distributed,
@@ -33,6 +31,8 @@ struct RunOptions {
   dist::BackendKind backend = dist::BackendKind::Serial;
 };
 
+/// \deprecated Use hisim::Result (engine.hpp), which is flat and carries
+/// compile vs execute timings plus a JSON serializer.
 struct RunReport {
   bool distributed = false;
   std::size_t parts = 0;
@@ -46,6 +46,7 @@ struct RunReport {
   }
 };
 
+/// \deprecated Use hisim::Engine::compile() + ExecutionPlan::execute().
 class HiSvSim {
  public:
   explicit HiSvSim(RunOptions opt = {}) : opt_(opt) {}
@@ -55,7 +56,8 @@ class HiSvSim {
   /// Builds the partitioning this configuration would use (single node).
   partition::Partitioning plan(const Circuit& c) const;
 
-  /// Single-node hierarchical simulation from |0...0>.
+  /// Single-node hierarchical simulation from |0...0>. Compiles and
+  /// executes in one shot — partitioning cost is paid on every call.
   sv::StateVector simulate(const Circuit& c, RunReport* report = nullptr) const;
 
   /// Simulated-cluster run over 2^process_qubits ranks; the returned state
@@ -64,6 +66,9 @@ class HiSvSim {
                                        RunReport* report = nullptr) const;
 
  private:
+  /// Engine options equivalent to this configuration for the given
+  /// circuit (`distributed` selects the target family).
+  Options engine_options(const Circuit& c, bool distributed) const;
   unsigned effective_limit(const Circuit& c) const;
   RunOptions opt_;
 };

@@ -1,6 +1,7 @@
 #include "partition/partition.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <set>
 #include <sstream>
 
@@ -32,8 +33,17 @@ std::string strategy_name(Strategy s) {
   return "?";
 }
 
+namespace {
+std::atomic<std::uint64_t> g_partition_invocations{0};
+}  // namespace
+
+std::uint64_t partition_invocations() {
+  return g_partition_invocations.load(std::memory_order_relaxed);
+}
+
 Partitioning make_partition(const dag::CircuitDag& dag,
                             const PartitionOptions& opt) {
+  g_partition_invocations.fetch_add(1, std::memory_order_relaxed);
   for (const Gate& g : dag.circuit().gates())
     HISIM_CHECK_MSG(g.arity() <= opt.limit,
                     "gate " << g.to_string() << " has arity " << g.arity()

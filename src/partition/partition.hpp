@@ -58,6 +58,11 @@ struct PartitionOptions {
 Partitioning make_partition(const dag::CircuitDag& dag,
                             const PartitionOptions& opt);
 
+/// Process-wide count of make_partition() calls (atomic). Diagnostic hook:
+/// lets tests assert that compile-once/execute-many paths really do not
+/// re-partition per execution.
+std::uint64_t partition_invocations();
+
 /// Natural topological order cutoff (Sec. IV-B.1).
 Partitioning partition_nat(const dag::CircuitDag& dag, unsigned limit);
 

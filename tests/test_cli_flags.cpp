@@ -1,0 +1,154 @@
+#include "hisvsim/cli_flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hisim::cli {
+namespace {
+
+TEST(CliFlags, Defaults) {
+  const Flags f = parse_flags({});
+  EXPECT_EQ(f.qubits, 14u);
+  EXPECT_EQ(f.limit, 0u);
+  EXPECT_EQ(f.ranks_p, 0u);
+  EXPECT_FALSE(f.json);
+  EXPECT_EQ(effective_target(f), Target::Hierarchical);
+}
+
+TEST(CliFlags, ParsesNumbersAndSwitches) {
+  const Flags f = parse_flags({"--qubits=20", "--limit=12", "--level2=6",
+                               "--shots=100", "--json", "--exact",
+                               "--dot=out.dot"});
+  EXPECT_EQ(f.qubits, 20u);
+  EXPECT_EQ(f.limit, 12u);
+  EXPECT_EQ(f.level2, 6u);
+  EXPECT_EQ(f.shots, 100u);
+  EXPECT_TRUE(f.json);
+  EXPECT_TRUE(f.exact);
+  EXPECT_EQ(f.dot, "out.dot");
+}
+
+TEST(CliFlags, RanksPowerOfTwoMapsToProcessQubits) {
+  EXPECT_EQ(parse_flags({"--ranks=1"}).ranks_p, 0u);
+  EXPECT_EQ(parse_flags({"--ranks=2"}).ranks_p, 1u);
+  EXPECT_EQ(parse_flags({"--ranks=4"}).ranks_p, 2u);
+  EXPECT_EQ(parse_flags({"--ranks=16"}).ranks_p, 4u);
+}
+
+TEST(CliFlags, RanksRejectsNonPowerOfTwo) {
+  // The old parser silently rounded 3 up to 4 ranks; it must be an error.
+  for (const char* bad : {"--ranks=3", "--ranks=5", "--ranks=6",
+                          "--ranks=12", "--ranks=0"})
+    EXPECT_THROW(parse_flags({bad}), Error) << bad;
+  try {
+    parse_flags({"--ranks=5"});
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("power of two"), std::string::npos);
+  }
+}
+
+TEST(CliFlags, RejectsMalformedNumbers) {
+  EXPECT_THROW(parse_flags({"--qubits=abc"}), Error);
+  EXPECT_THROW(parse_flags({"--ranks=4x"}), Error);
+  EXPECT_THROW(parse_flags({"--shots=-2"}), Error);
+  EXPECT_THROW(parse_flags({"--limit="}), Error);
+  // Values that only fit after truncation are errors, not wrap-arounds
+  // (2^32 + 1 would otherwise silently become qubits=1).
+  EXPECT_THROW(parse_flags({"--qubits=4294967297"}), Error);
+  EXPECT_THROW(parse_flags({"--limit=99999999999999999999999"}), Error);
+}
+
+TEST(CliFlags, RejectsUnknownFlagAndNames) {
+  EXPECT_THROW(parse_flags({"--frobnicate=1"}), Error);
+  EXPECT_THROW(parse_flags({"--strategy=greedy"}), Error);
+  EXPECT_THROW(parse_flags({"--backend=mpi"}), Error);
+  EXPECT_THROW(parse_flags({"--target=gpu"}), Error);
+}
+
+TEST(CliFlags, StrategyAndBackendNames) {
+  EXPECT_EQ(parse_flags({"--strategy=nat"}).strategy,
+            partition::Strategy::Nat);
+  EXPECT_EQ(parse_flags({"--strategy=dfs"}).strategy,
+            partition::Strategy::Dfs);
+  EXPECT_EQ(parse_flags({"--strategy=dagp"}).strategy,
+            partition::Strategy::DagP);
+  EXPECT_EQ(parse_flags({"--backend=threaded"}).backend,
+            dist::BackendKind::Threaded);
+}
+
+TEST(CliFlags, TargetDerivation) {
+  EXPECT_EQ(effective_target(parse_flags({"--ranks=4"})),
+            Target::DistributedSerial);
+  EXPECT_EQ(effective_target(parse_flags({"--ranks=4", "--backend=threaded"})),
+            Target::DistributedThreaded);
+  EXPECT_EQ(effective_target(parse_flags({"--level2=5"})),
+            Target::Multilevel);
+  EXPECT_EQ(effective_target(parse_flags({"--target=flat"})), Target::Flat);
+  EXPECT_EQ(effective_target(parse_flags({"--target=iqs-baseline",
+                                          "--ranks=4"})),
+            Target::IqsBaseline);
+  // An explicit distributed target agreeing with an explicit backend is
+  // fine; --level2 composes with the targets that honor it.
+  EXPECT_EQ(effective_target(parse_flags({"--target=distributed-threaded",
+                                          "--ranks=4",
+                                          "--backend=threaded"})),
+            Target::DistributedThreaded);
+  EXPECT_EQ(effective_target(parse_flags({"--target=distributed-serial",
+                                          "--ranks=4", "--level2=5"})),
+            Target::DistributedSerial);
+}
+
+TEST(CliFlags, DistributedTargetRequiresRanks) {
+  EXPECT_THROW(effective_target(parse_flags({"--target=distributed-serial"})),
+               Error);
+}
+
+TEST(CliFlags, RejectsContradictoryTargetFlags) {
+  // --target silently overriding another explicit flag would be the same
+  // "fix it quietly" failure mode as the old --ranks rounding.
+  EXPECT_THROW(
+      effective_target(parse_flags(
+          {"--target=distributed-serial", "--ranks=4", "--backend=threaded"})),
+      Error);
+  EXPECT_THROW(
+      effective_target(parse_flags(
+          {"--target=distributed-threaded", "--ranks=4", "--backend=serial"})),
+      Error);
+  EXPECT_THROW(
+      effective_target(parse_flags({"--target=flat", "--level2=5"})), Error);
+  EXPECT_THROW(
+      effective_target(parse_flags({"--target=hierarchical", "--level2=5"})),
+      Error);
+  // Flags that the chosen target ignores are errors, not no-ops.
+  EXPECT_THROW(
+      effective_target(parse_flags({"--target=multilevel", "--ranks=8"})),
+      Error);
+  EXPECT_THROW(
+      effective_target(parse_flags(
+          {"--target=iqs-baseline", "--ranks=4", "--backend=threaded"})),
+      Error);
+  EXPECT_THROW(effective_target(parse_flags({"--backend=threaded"})), Error);
+}
+
+TEST(CliFlags, EngineOptionsRoundTrip) {
+  const Options o = engine_options(
+      parse_flags({"--ranks=8", "--backend=threaded", "--limit=10",
+                   "--level2=4", "--strategy=dfs"}));
+  EXPECT_EQ(o.target, Target::DistributedThreaded);
+  EXPECT_EQ(o.process_qubits, 3u);
+  EXPECT_EQ(o.limit, 10u);
+  EXPECT_EQ(o.level2_limit, 4u);
+  EXPECT_EQ(o.strategy, partition::Strategy::Dfs);
+}
+
+TEST(CliFlags, TargetNameRoundTrip) {
+  for (Target t : {Target::Flat, Target::Hierarchical, Target::Multilevel,
+                   Target::DistributedSerial, Target::DistributedThreaded,
+                   Target::IqsBaseline})
+    EXPECT_EQ(parse_target(target_name(t)), t);
+}
+
+}  // namespace
+}  // namespace hisim::cli

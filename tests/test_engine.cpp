@@ -1,0 +1,312 @@
+#include "hisvsim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "circuits/generators.hpp"
+#include "dag/circuit_dag.hpp"
+#include "dist/hisvsim_dist.hpp"
+#include "dist/iqs_baseline.hpp"
+#include "partition/multilevel.hpp"
+#include "sv/hierarchical.hpp"
+#include "sv/simulator.hpp"
+
+namespace hisim {
+namespace {
+
+void expect_bit_identical(const sv::StateVector& a, const sv::StateVector& b,
+                          const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (Index i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].real(), b[i].real()) << what << " amp " << i;
+    ASSERT_EQ(a[i].imag(), b[i].imag()) << what << " amp " << i;
+  }
+}
+
+/// One Options instance per target, sized for a 10-qubit circuit.
+std::vector<Options> all_target_options() {
+  std::vector<Options> out;
+  for (Target t : {Target::Flat, Target::Hierarchical, Target::Multilevel,
+                   Target::DistributedSerial, Target::DistributedThreaded,
+                   Target::IqsBaseline}) {
+    Options o;
+    o.target = t;
+    o.limit = 5;
+    if (t == Target::Multilevel) o.level2_limit = 3;
+    if (target_is_distributed(t)) o.process_qubits = 2;
+    out.push_back(o);
+  }
+  return out;
+}
+
+// The headline contract: one plan, compiled once, executes any number of
+// times with bit-identical states — on every target — and stays within
+// numerical tolerance of the flat reference.
+TEST(Engine, CompileOnceExecuteManyBitIdentical) {
+  const Circuit c = circuits::qft(10);
+  const sv::StateVector flat = sv::FlatSimulator().simulate(c);
+  for (const Options& o : all_target_options()) {
+    const ExecutionPlan plan = Engine::compile(c, o);
+    const Result r1 = plan.execute();
+    const Result r2 = plan.execute();
+    const Result r3 = plan.execute();
+    expect_bit_identical(r1.state, r2.state, target_name(o.target));
+    expect_bit_identical(r1.state, r3.state, target_name(o.target));
+    EXPECT_LT(r1.state.max_abs_diff(flat), 1e-10) << target_name(o.target);
+    EXPECT_NEAR(r1.norm, 1.0, 1e-10) << target_name(o.target);
+  }
+}
+
+// No-regression against the pre-Engine paths: the plan must reproduce the
+// legacy simulators bit for bit (same operation sequence, same kernels).
+TEST(Engine, MatchesLegacyPathsBitForBit) {
+  const Circuit c = circuits::ising(9, 2, 11);
+  const unsigned n = c.num_qubits();
+
+  {  // Flat vs FlatSimulator.
+    Options o;
+    o.target = Target::Flat;
+    expect_bit_identical(Engine::compile(c, o).execute().state,
+                         sv::FlatSimulator().simulate(c), "flat");
+  }
+  {  // Hierarchical vs make_partition + HierarchicalSimulator.
+    Options o;
+    o.target = Target::Hierarchical;
+    o.limit = 5;
+    const dag::CircuitDag dag(c);
+    partition::PartitionOptions po;
+    po.limit = 5;
+    const auto parts = partition::make_partition(dag, po);
+    sv::StateVector legacy(n);
+    sv::HierarchicalSimulator().run(c, parts, legacy);
+    expect_bit_identical(Engine::compile(c, o).execute().state, legacy,
+                         "hierarchical");
+  }
+  {  // Multilevel vs partition_two_level + HierarchicalSimulator.
+    Options o;
+    o.target = Target::Multilevel;
+    o.limit = 5;
+    o.level2_limit = 3;
+    const dag::CircuitDag dag(c);
+    partition::PartitionOptions po;
+    po.limit = 5;
+    const auto two = partition::partition_two_level(dag, po, 3);
+    sv::StateVector legacy(n);
+    sv::HierarchicalSimulator().run(c, two, legacy);
+    expect_bit_identical(Engine::compile(c, o).execute().state, legacy,
+                         "multilevel");
+  }
+  for (Target t : {Target::DistributedSerial, Target::DistributedThreaded}) {
+    // Distributed vs DistributedHiSvSim::run on a fresh DistState.
+    Options o;
+    o.target = t;
+    o.process_qubits = 2;
+    dist::DistState state(n, 2);
+    dist::DistOptions dopt;
+    dopt.process_qubits = 2;
+    dopt.backend = t == Target::DistributedThreaded
+                       ? &dist::threaded_backend()
+                       : &dist::serial_backend();
+    dist::DistributedHiSvSim().run(c, dopt, state);
+    expect_bit_identical(Engine::compile(c, o).execute().state,
+                         state.to_state_vector(), target_name(t));
+  }
+  {  // IQS baseline vs IqsBaselineSimulator.
+    Options o;
+    o.target = Target::IqsBaseline;
+    o.process_qubits = 2;
+    dist::DistState state(n, 2);
+    dist::IqsBaselineSimulator().run(c, state);
+    expect_bit_identical(Engine::compile(c, o).execute().state,
+                         state.to_state_vector(), "iqs-baseline");
+  }
+}
+
+// Partition/compile work happens at compile time only: execute() never
+// calls the partitioner again, and the compile-side numbers in Result are
+// the plan's constants.
+TEST(Engine, PartitionWorkOnlyAtCompile) {
+  const Circuit c = circuits::qaoa(9, 2, 4);
+  for (const Options& o : all_target_options()) {
+    const std::uint64_t before = partition::partition_invocations();
+    const ExecutionPlan plan = Engine::compile(c, o);
+    const std::uint64_t after_compile = partition::partition_invocations();
+    if (o.target != Target::Flat && o.target != Target::IqsBaseline) {
+      EXPECT_GT(after_compile, before) << target_name(o.target);
+    }
+
+    const Result r1 = plan.execute();
+    const Result r2 = plan.execute();
+    EXPECT_EQ(partition::partition_invocations(), after_compile)
+        << "execute() re-partitioned on " << target_name(o.target);
+
+    EXPECT_EQ(r1.partition_seconds, plan.partition_seconds());
+    EXPECT_EQ(r2.partition_seconds, plan.partition_seconds());
+    EXPECT_EQ(r1.compile_seconds, plan.compile_seconds());
+    EXPECT_EQ(r1.parts, plan.num_parts());
+    EXPECT_EQ(r1.inner_parts, plan.num_inner_parts());
+  }
+}
+
+// One shared plan, many threads: Engine's thread-safety contract. Runs
+// under TSan in CI (see .github/workflows/ci.yml).
+TEST(Engine, SharedPlanExecutesConcurrently) {
+  const Circuit c = circuits::qft(9);
+  for (Target t : {Target::Hierarchical, Target::DistributedSerial,
+                   Target::DistributedThreaded}) {
+    Options o;
+    o.target = t;
+    o.limit = 5;
+    if (target_is_distributed(t)) o.process_qubits = 2;
+    const ExecutionPlan plan = Engine::compile(c, o);
+    const Result ref = plan.execute();
+
+    constexpr int kThreads = 4;
+    std::vector<Result> results(kThreads);
+    {
+      std::vector<std::thread> threads;
+      threads.reserve(kThreads);
+      for (int i = 0; i < kThreads; ++i)
+        threads.emplace_back([&plan, &results, i] {
+          ExecOptions x;
+          x.shots = 16;  // exercise the sampling path concurrently too
+          results[i] = plan.execute(x);
+        });
+      for (std::thread& th : threads) th.join();
+    }
+    for (int i = 0; i < kThreads; ++i) {
+      expect_bit_identical(results[i].state, ref.state, target_name(t));
+      EXPECT_EQ(results[i].samples, results[0].samples) << target_name(t);
+    }
+  }
+}
+
+TEST(Engine, ExecutesFromCallerSuppliedInitialState) {
+  const Circuit prep = circuits::cat_state(8);
+  const Circuit c = circuits::qft(8);
+  const sv::StateVector start = sv::FlatSimulator().simulate(prep);
+
+  sv::StateVector expected = start;
+  sv::FlatSimulator().run(c, expected);
+
+  for (const Options& base : all_target_options()) {
+    Options o = base;
+    const ExecutionPlan plan = Engine::compile(c, o);
+    ExecOptions x;
+    x.initial_state = &start;
+    const Result r = plan.execute(x);
+    EXPECT_LT(r.state.max_abs_diff(expected), 1e-10) << target_name(o.target);
+    // The input state is untouched: plans never mutate caller data.
+    EXPECT_LT(start.max_abs_diff(sv::FlatSimulator().simulate(prep)), 1e-15);
+  }
+
+  const sv::StateVector wrong_size(5);
+  ExecOptions bad;
+  bad.initial_state = &wrong_size;
+  EXPECT_THROW(Engine::compile(c, Options{}).execute(bad), Error);
+}
+
+TEST(Engine, ShotsAndObservablesFirstClass) {
+  const Circuit c = circuits::cat_state(8);
+  const ExecutionPlan plan = Engine::compile(c, Options{});
+
+  ExecOptions x;
+  x.shots = 200;
+  x.observables.push_back(sv::PauliString::parse("Z0*Z7"));
+  x.observables.push_back(sv::PauliString::parse("Z0"));
+  const Result r = plan.execute(x);
+
+  ASSERT_EQ(r.samples.size(), 200u);
+  const Index all_ones = (Index{1} << 8) - 1;
+  for (Index s : r.samples) EXPECT_TRUE(s == 0 || s == all_ones) << s;
+
+  ASSERT_EQ(r.observables.size(), 2u);
+  EXPECT_NEAR(r.observables[0], 1.0, 1e-10);   // qubits perfectly correlated
+  EXPECT_NEAR(r.observables[1], 0.0, 1e-10);   // each marginal is 50/50
+
+  // Same shot seed, same samples; different seed, (almost surely) same
+  // distribution but independent draws.
+  const Result r2 = plan.execute(x);
+  EXPECT_EQ(r.samples, r2.samples);
+}
+
+TEST(Engine, ResultJsonCarriesReportFields) {
+  const Circuit c = circuits::bv(8);
+  {
+    Options o;
+    o.target = Target::DistributedThreaded;
+    o.process_qubits = 2;
+    ExecOptions x;
+    x.shots = 8;
+    const std::string j = Engine::compile(c, o).execute(x).to_json();
+    for (const char* key :
+         {"\"circuit\": \"bv\"", "\"target\": \"distributed-threaded\"",
+          "\"parts\":", "\"ranks\": 4", "\"compile_seconds\":",
+          "\"partition_seconds\":", "\"execute_wall_seconds\":",
+          "\"comm_bytes\":", "\"comm_seconds_modeled\":",
+          "\"wall_seconds_measured\":", "\"shots\": 8", "\"norm\":"})
+      EXPECT_NE(j.find(key), std::string::npos) << key << "\n" << j;
+  }
+  {
+    const std::string j = Engine::compile(c, Options{}).execute().to_json();
+    for (const char* key : {"\"target\": \"hierarchical\"",
+                            "\"gather_seconds\":", "\"apply_seconds\":",
+                            "\"scatter_seconds\":", "\"outer_bytes_moved\":"})
+      EXPECT_NE(j.find(key), std::string::npos) << key << "\n" << j;
+    EXPECT_EQ(j.find("\"comm_bytes\""), std::string::npos) << j;
+  }
+}
+
+TEST(Engine, ValidatesOptions) {
+  const Circuit c = circuits::bv(8);
+  Options o;
+  o.target = Target::DistributedSerial;
+  EXPECT_THROW(Engine::compile(c, o), Error);  // process_qubits == 0
+  o.target = Target::IqsBaseline;
+  EXPECT_THROW(Engine::compile(c, o), Error);
+  EXPECT_THROW(ExecutionPlan().execute(), Error);  // empty plan
+  EXPECT_FALSE(ExecutionPlan().valid());
+  EXPECT_THROW(parse_target("warp-drive"), Error);
+}
+
+// Report-only executions skip the state (and, on sharded targets, the
+// O(2^n) gather) but still carry the full report.
+TEST(Engine, ReportOnlyExecutionSkipsState) {
+  const Circuit c = circuits::bv(9);
+  Options o;
+  o.target = Target::DistributedSerial;
+  o.process_qubits = 2;
+  const ExecutionPlan plan = Engine::compile(c, o);
+
+  ExecOptions x;
+  x.want_state = false;
+  const Result r = plan.execute(x);
+  EXPECT_EQ(r.state.size(), 0u);
+  EXPECT_NEAR(r.norm, 1.0, 1e-10);
+  EXPECT_EQ(r.parts, plan.num_parts());
+  EXPECT_GT(r.comm.exchanges, 0u);
+
+  // Shots force the gather internally but the state is still dropped.
+  x.shots = 4;
+  const Result rs = plan.execute(x);
+  EXPECT_EQ(rs.state.size(), 0u);
+  EXPECT_EQ(rs.samples.size(), 4u);
+}
+
+// The multilevel target picks a sane cache level when none is given.
+TEST(Engine, MultilevelAutoLevel2) {
+  const Circuit c = circuits::qft(9);
+  Options o;
+  o.target = Target::Multilevel;
+  o.limit = 6;
+  const ExecutionPlan plan = Engine::compile(c, o);
+  EXPECT_GE(plan.num_inner_parts(), plan.num_parts());
+  EXPECT_LT(plan.execute().state.max_abs_diff(
+                sv::FlatSimulator().simulate(c)),
+            1e-10);
+}
+
+}  // namespace
+}  // namespace hisim

@@ -1,78 +1,34 @@
 // hisim — command-line front end to the HiSVSIM library.
 //
 //   hisim run <circuit|file.qasm> [--qubits=N] [--limit=L]
-//         [--strategy=dagp|dfs|nat] [--ranks=P] [--level2=L2]
-//         [--backend=serial|threaded] [--shots=S] [--json]
+//         [--strategy=dagp|dfs|nat] [--ranks=R] [--level2=L2]
+//         [--backend=serial|threaded] [--target=T] [--shots=S] [--json]
 //   hisim partition <circuit|file.qasm> [--qubits=N] [--limit=L]
 //         [--strategy=...] [--dot=out.dot] [--exact]
 //   hisim suite                      # list the built-in benchmark suite
 //
 // <circuit> is a suite name (bv, qft, ...) or a path ending in .qasm.
+// --ranks must be a power of two (R = 2^p simulated processes).
+// --target is one of flat, hierarchical, multilevel, distributed-serial,
+// distributed-threaded, iqs-baseline; when omitted it is derived from
+// --ranks / --level2 / --backend.
 
+#include <algorithm>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "circuits/generators.hpp"
-#include "dist/backend.hpp"
-#include "hisvsim/hisvsim.hpp"
+#include "hisvsim/cli_flags.hpp"
+#include "hisvsim/engine.hpp"
 #include "partition/exact.hpp"
 #include "qasm/parser.hpp"
-#include "sv/observables.hpp"
 
 namespace {
 
 using namespace hisim;
-
-struct Flags {
-  unsigned qubits = 14;
-  unsigned limit = 0;
-  unsigned ranks_p = 0;
-  unsigned level2 = 0;
-  std::size_t shots = 0;
-  bool json = false;
-  bool exact = false;
-  std::string dot;
-  partition::Strategy strategy = partition::Strategy::DagP;
-  dist::BackendKind backend = dist::BackendKind::Serial;
-};
-
-Flags parse_flags(int argc, char** argv, int first) {
-  Flags f;
-  for (int i = first; i < argc; ++i) {
-    const std::string a = argv[i];
-    auto val = [&](const char* name) -> const char* {
-      const std::size_t n = std::strlen(name);
-      return a.rfind(name, 0) == 0 ? a.c_str() + n : nullptr;
-    };
-    if (const char* v = val("--qubits=")) f.qubits = std::atoi(v);
-    else if (const char* v = val("--limit=")) f.limit = std::atoi(v);
-    else if (const char* v = val("--ranks=")) {
-      const unsigned r = std::atoi(v);
-      unsigned p = 0;
-      while ((1u << p) < r) ++p;
-      f.ranks_p = p;
-    } else if (const char* v = val("--level2=")) f.level2 = std::atoi(v);
-    else if (const char* v = val("--shots=")) f.shots = std::atoi(v);
-    else if (const char* v = val("--dot=")) f.dot = v;
-    else if (const char* v = val("--strategy=")) {
-      const std::string s = v;
-      f.strategy = s == "nat"   ? partition::Strategy::Nat
-                   : s == "dfs" ? partition::Strategy::Dfs
-                                : partition::Strategy::DagP;
-    } else if (const char* v = val("--backend=")) {
-      f.backend = dist::parse_backend(v);
-    } else if (a == "--json") f.json = true;
-    else if (a == "--exact") f.exact = true;
-    else {
-      std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
-      std::exit(2);
-    }
-  }
-  return f;
-}
 
 Circuit load_circuit(const std::string& spec, unsigned qubits) {
   if (spec.size() > 5 && spec.substr(spec.size() - 5) == ".qasm")
@@ -89,77 +45,39 @@ int cmd_suite() {
   return 0;
 }
 
-int cmd_run(const std::string& spec, const Flags& f) {
+int cmd_run(const std::string& spec, const cli::Flags& f) {
   const Circuit c = load_circuit(spec, f.qubits);
   std::fprintf(stderr, "%s\n", c.summary().c_str());
 
-  RunOptions opt;
-  opt.strategy = f.strategy;
-  opt.limit = f.limit;
-  opt.process_qubits = f.ranks_p;
-  opt.level2_limit = f.level2;
-  opt.backend = f.backend;
-  RunReport rep;
-  HiSvSim sim(opt);
-  const sv::StateVector state =
-      f.ranks_p > 0 ? sim.simulate_distributed(c, &rep) : sim.simulate(c, &rep);
+  // Compile once, execute: the CLI runs the plan a single time, but the
+  // same plan could serve any number of execute() calls (see engine.hpp).
+  const ExecutionPlan plan = Engine::compile(c, cli::engine_options(f));
+  ExecOptions x;
+  x.shots = f.shots;
+  const Result r = plan.execute(x);
 
   if (f.json) {
-    std::printf("{\n");
-    std::printf("  \"circuit\": \"%s\",\n", c.name().c_str());
-    std::printf("  \"qubits\": %u,\n", c.num_qubits());
-    std::printf("  \"gates\": %zu,\n", c.num_gates());
-    std::printf("  \"strategy\": \"%s\",\n",
-                partition::strategy_name(f.strategy).c_str());
-    std::printf("  \"parts\": %zu,\n", rep.parts);
-    std::printf("  \"inner_parts\": %zu,\n", rep.inner_parts);
-    std::printf("  \"partition_seconds\": %.6g,\n", rep.partition_seconds);
-    if (rep.distributed) {
-      std::printf("  \"ranks\": %u,\n", rep.dist.ranks);
-      std::printf("  \"backend\": \"%s\",\n",
-                  dist::backend_kind_name(f.backend));
-      std::printf("  \"comm_bytes\": %llu,\n",
-                  (unsigned long long)rep.dist.comm.bytes_total);
-      std::printf("  \"comm_seconds_modeled\": %.6g,\n",
-                  rep.dist.comm.modeled_max_seconds);
-      std::printf("  \"comm_seconds_measured\": %.6g,\n",
-                  rep.dist.measured_comm_seconds);
-      std::printf("  \"wall_seconds_measured\": %.6g,\n",
-                  rep.dist.measured_wall_seconds);
-      std::printf("  \"overlap_seconds_measured\": %.6g,\n",
-                  rep.dist.measured_overlap_seconds);
-      std::printf("  \"compute_seconds\": %.6g,\n", rep.dist.compute_seconds);
-    } else {
-      std::printf("  \"gather_seconds\": %.6g,\n", rep.hier.gather_seconds);
-      std::printf("  \"execute_seconds\": %.6g,\n", rep.hier.execute_seconds);
-      std::printf("  \"scatter_seconds\": %.6g,\n", rep.hier.scatter_seconds);
-      std::printf("  \"outer_bytes_moved\": %llu,\n",
-                  (unsigned long long)rep.hier.outer_bytes_moved);
-    }
-    std::printf("  \"total_seconds\": %.6g,\n", rep.total_seconds());
-    std::printf("  \"norm\": %.12f\n", state.norm());
-    std::printf("}\n");
-  } else if (rep.distributed) {
+    std::printf("%s\n", r.to_json().c_str());
+  } else if (r.ranks > 0) {
     std::printf(
-        "parts=%zu total=%.4fs norm=%.12f backend=%s "
+        "target=%s parts=%zu total=%.4fs norm=%.12f "
         "comm=%.4fs wall=%.4fs overlap=%.4fs\n",
-        rep.parts, rep.total_seconds(), state.norm(),
-        dist::backend_kind_name(f.backend), rep.dist.measured_comm_seconds,
-        rep.dist.measured_wall_seconds, rep.dist.measured_overlap_seconds);
+        target_name(r.target), r.parts, r.total_seconds(), r.norm,
+        r.measured_comm_seconds, r.measured_wall_seconds,
+        r.measured_overlap_seconds);
   } else {
-    std::printf("parts=%zu total=%.4fs norm=%.12f\n", rep.parts,
-                rep.total_seconds(), state.norm());
+    std::printf("target=%s parts=%zu compile=%.4fs total=%.4fs norm=%.12f\n",
+                target_name(r.target), r.parts, r.compile_seconds,
+                r.total_seconds(), r.norm);
   }
 
-  if (f.shots > 0) {
-    Rng rng(0xC11);
-    const auto shots = sv::sample(state, f.shots, rng);
+  if (!r.samples.empty()) {
     std::map<Index, std::size_t> hist;
-    for (Index s : shots) ++hist[s];
+    for (Index s : r.samples) ++hist[s];
     std::vector<std::pair<std::size_t, Index>> top;
     for (const auto& [v, n] : hist) top.emplace_back(n, v);
     std::sort(top.rbegin(), top.rend());
-    std::printf("top outcomes (%zu shots):\n", f.shots);
+    std::printf("top outcomes (%zu shots):\n", r.samples.size());
     for (std::size_t i = 0; i < std::min<std::size_t>(8, top.size()); ++i) {
       std::printf("  ");
       for (unsigned q = c.num_qubits(); q-- > 0;)
@@ -170,7 +88,7 @@ int cmd_run(const std::string& spec, const Flags& f) {
   return 0;
 }
 
-int cmd_partition(const std::string& spec, const Flags& f) {
+int cmd_partition(const std::string& spec, const cli::Flags& f) {
   const Circuit c = load_circuit(spec, f.qubits);
   std::printf("%s\n", c.summary().c_str());
   const dag::CircuitDag dag(c);
@@ -214,7 +132,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "missing circuit argument\n");
       return 2;
     }
-    const Flags f = parse_flags(argc, argv, 3);
+    const cli::Flags f =
+        cli::parse_flags(std::vector<std::string>(argv + 3, argv + argc));
     if (cmd == "run") return cmd_run(argv[2], f);
     if (cmd == "partition") return cmd_partition(argv[2], f);
     std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
