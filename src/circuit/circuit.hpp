@@ -12,6 +12,13 @@ namespace hisim {
 /// A quantum circuit: an ordered gate sequence on `num_qubits()` qubits.
 /// The order is the *natural topological order* the paper's Nat partitioner
 /// consumes.
+///
+/// A circuit may be *parameterized*: param(name) registers a named
+/// symbolic parameter whose handle the parametric gate factories accept in
+/// place of a concrete angle. Everything structural — qubits, gate kinds,
+/// order, and therefore partitioning/lowering/layout planning — is fixed;
+/// only the angle values are deferred until bound() (or, through the
+/// Engine, until ExecOptions::bindings at execute time).
 class Circuit {
  public:
   Circuit() = default;
@@ -29,8 +36,35 @@ class Circuit {
   /// Appends a gate; validates that its qubits are in range.
   void add(Gate g);
 
-  /// Appends all gates of `other` (qubit counts must match).
+  /// Appends all gates of `other` (qubit counts must match). Parameters of
+  /// `other` are merged by name: same-named parameters unify, new names
+  /// are registered here and the appended gates' expressions re-indexed.
   void append(const Circuit& other);
+
+  // ---- symbolic parameters --------------------------------------------
+
+  /// Registers (or looks up) the named symbolic parameter and returns its
+  /// handle. Registration order defines the parameter ids resolve_binding
+  /// produces values for. Names must be non-empty.
+  Param param(const std::string& name);
+
+  std::size_t num_params() const { return param_names_.size(); }
+  /// Registered parameter names in id order.
+  const std::vector<std::string>& param_names() const { return param_names_; }
+  /// True when the circuit declares symbolic parameters (a binding is then
+  /// required to materialize and execute it).
+  bool is_parameterized() const { return !param_names_.empty(); }
+
+  /// A copy with every symbolic gate parameter replaced by its concrete
+  /// value under `values` (indexed by param id, as produced by
+  /// resolve_binding). Gate count and order are preserved exactly; the
+  /// copy has an empty parameter registry. Throws, naming the parameter,
+  /// when a symbolic expression is not covered.
+  Circuit bound(std::span<const double> values) const;
+
+  /// Convenience overload: validates `binding` against the registry
+  /// (unknown/unbound/non-finite values throw) and resolves by name.
+  Circuit bound(const ParamBinding& binding) const;
 
   /// Circuit depth: longest chain of qubit-dependent gates.
   unsigned depth() const;
@@ -48,13 +82,15 @@ class Circuit {
   std::string summary() const;
 
   bool operator==(const Circuit& o) const {
-    return num_qubits_ == o.num_qubits_ && gates_ == o.gates_;
+    return num_qubits_ == o.num_qubits_ && gates_ == o.gates_ &&
+           param_names_ == o.param_names_;
   }
 
  private:
   unsigned num_qubits_ = 0;
   std::string name_ = "circuit";
   std::vector<Gate> gates_;
+  std::vector<std::string> param_names_;  // id -> name
 };
 
 }  // namespace hisim

@@ -173,6 +173,7 @@ std::vector<Gate> decompose_gate(const Gate& g, unsigned max_arity) {
 
 Circuit lower(const Circuit& c, unsigned max_arity) {
   Circuit out(c.num_qubits(), c.name() + "_lowered");
+  for (const std::string& p : c.param_names()) out.param(p);
   for (const Gate& g : c.gates())
     for (Gate& e : decompose_gate(g, max_arity)) out.add(std::move(e));
   return out;
@@ -180,6 +181,7 @@ Circuit lower(const Circuit& c, unsigned max_arity) {
 
 Circuit lower_to_1q_cx(const Circuit& c) {
   Circuit out(c.num_qubits(), c.name() + "_1qcx");
+  for (const std::string& p : c.param_names()) out.param(p);
   for (const Gate& g : c.gates()) {
     if (g.arity() == 1 || g.kind == GateKind::CX) {
       out.add(g);
@@ -216,9 +218,10 @@ Circuit lower_to_1q_cx(const Circuit& c) {
         out.add(Gate::h(g.qubits[1]));
         break;
       case GateKind::CP: {
-        // qelib1 cu1.
+        // qelib1 cu1. The angle may be symbolic: the affine ParamExpr
+        // algebra keeps lam/2 and -lam/2 deferred.
         const Qubit c0 = g.qubits[0], t = g.qubits[1];
-        const double lam = g.params[0];
+        const ParamExpr lam = g.params[0];
         out.add(Gate::p(c0, lam / 2));
         out.add(Gate::cx(c0, t));
         out.add(Gate::p(t, -lam / 2));
@@ -235,11 +238,21 @@ Circuit lower_to_1q_cx(const Circuit& c) {
         break;
       }
       case GateKind::CH: case GateKind::CRX: case GateKind::CRY:
-      case GateKind::CU3:
+      case GateKind::CU3: {
+        // The A-X-B-X-C construction's ZYZ angles are *nonlinear* in the
+        // gate parameters, so — unlike the CP/CRZ half-angle paths above —
+        // they cannot stay symbolic through the affine ParamExpr algebra.
+        HISIM_CHECK_MSG(!g.is_parametric(),
+                        "cannot lower symbolic "
+                            << g.to_string()
+                            << " to 1q+cx: its ZYZ decomposition depends "
+                               "on the angle value — bind the parameter "
+                               "first (Circuit::bound)");
         for (Gate& e :
              controlled_u_gates(g.qubits[0], g.qubits[1], g.target_matrix()))
           out.add(std::move(e));
         break;
+      }
       case GateKind::CCX: case GateKind::CSWAP: case GateKind::MCX: {
         // Lower to arity-2 first (CCX path already yields 1q+CX).
         for (Gate& e : decompose_gate(g, 2)) {

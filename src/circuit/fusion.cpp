@@ -72,13 +72,29 @@ void flush_run(Circuit& out, const Circuit& in,
 Circuit fuse(const Circuit& c, const FusionOptions& opt) {
   HISIM_CHECK(opt.max_qubits >= 1 && opt.max_qubits <= 10);
   Circuit out(c.num_qubits(), c.name() + "_fused");
+  // Re-registering in order preserves parameter ids, so symbolic gates
+  // pass through with their expressions intact.
+  for (const std::string& p : c.param_names()) out.param(p);
   std::vector<std::size_t> run;
   std::set<Qubit> support;
   for (std::size_t i = 0; i < c.num_gates(); ++i) {
     const Gate& g = c.gate(i);
+    // The arity policy applies to symbolic gates too (a wide symbolic
+    // gate must still trip keep_wide_gates=false), so check it first.
     if (g.arity() > opt.max_qubits) {
       HISIM_CHECK_MSG(opt.keep_wide_gates,
                       "gate wider than fusion limit: " << g.to_string());
+      flush_run(out, c, run, support);
+      run.clear();
+      support.clear();
+      out.add(g);
+      continue;
+    }
+    if (g.is_parametric()) {
+      // A symbolic gate has no materializable unitary at fusion time; it
+      // breaks the current run and passes through for bind-at-execute
+      // materialization. Fusing it into a dense Unitary here would bake in
+      // angle values and defeat the one-plan/many-bindings contract.
       flush_run(out, c, run, support);
       run.clear();
       support.clear();

@@ -14,6 +14,10 @@ namespace hisim {
 /// Only adjacency in program order is exploited (no commutation analysis),
 /// so the result is trivially equivalent: it applies the same operator
 /// product. Runs of length one are left as the original gate.
+///
+/// Symbolic (parameterized) gates have no materializable unitary at fusion
+/// time; they act as run barriers and pass through unchanged, keeping the
+/// fused circuit bindable at execute (fuse-then-bind == bind-then-apply).
 struct FusionOptions {
   unsigned max_qubits = 3;   // widest fused unitary (2^k x 2^k matrices)
   /// Do not fuse across gates wider than max_qubits (they pass through

@@ -137,6 +137,12 @@ std::string gate_name(GateKind kind) {
   return "?";
 }
 
+bool Gate::is_parametric() const {
+  for (const ParamExpr& e : params)
+    if (e.symbolic) return true;
+  return false;
+}
+
 unsigned Gate::num_controls() const {
   switch (kind) {
     case GateKind::CX: case GateKind::CY: case GateKind::CZ:
@@ -161,7 +167,21 @@ bool Gate::is_diagonal() const {
   }
 }
 
-Matrix Gate::matrix() const {
+namespace {
+
+/// Materializes the parameter list under `bound` (throws, naming the
+/// parameter, when a symbolic entry is not covered).
+std::vector<double> resolved_params(const std::vector<ParamExpr>& params,
+                                    std::span<const double> bound) {
+  std::vector<double> out;
+  out.reserve(params.size());
+  for (const ParamExpr& e : params) out.push_back(e.value_at(bound));
+  return out;
+}
+
+}  // namespace
+
+Matrix Gate::matrix(std::span<const double> bound) const {
   switch (kind) {
     case GateKind::SWAP:
       return Matrix::from_rows(4, 4,
@@ -177,7 +197,7 @@ Matrix Gate::matrix() const {
       return m;
     }
     case GateKind::RZZ: {
-      const double t = params.at(0) / 2;
+      const double t = params.at(0).value_at(bound) / 2;
       Matrix m(4, 4);
       // exp(-i t Z⊗Z): phase exp(-it) on |00>,|11>; exp(+it) on |01>,|10>
       m(0, 0) = std::exp(-kI * t);
@@ -187,7 +207,7 @@ Matrix Gate::matrix() const {
       return m;
     }
     case GateKind::RXX: {
-      const double t = params.at(0) / 2;
+      const double t = params.at(0).value_at(bound) / 2;
       const cplx c = std::cos(t), s = -kI * std::sin(t);
       return Matrix::from_rows(4, 4,
                                {c, 0, 0, s,
@@ -200,13 +220,15 @@ Matrix Gate::matrix() const {
     default: {
       const unsigned nc = num_controls();
       HISIM_CHECK_MSG(arity() <= 12, "matrix() limited to 12 qubits");
-      const Matrix base = base2(kind, params);
+      const Matrix base = base2(kind, resolved_params(params, bound));
       return nc == 0 ? base : controlled_matrix(base, nc);
     }
   }
 }
 
-Matrix Gate::target_matrix() const { return base2(kind, params); }
+Matrix Gate::target_matrix(std::span<const double> bound) const {
+  return base2(kind, resolved_params(params, bound));
+}
 
 std::string Gate::to_string() const {
   std::ostringstream os;
@@ -214,7 +236,7 @@ std::string Gate::to_string() const {
   if (!params.empty()) {
     os << "(";
     for (std::size_t i = 0; i < params.size(); ++i)
-      os << (i ? "," : "") << params[i];
+      os << (i ? "," : "") << params[i].to_string();
     os << ")";
   }
   os << " ";
@@ -244,7 +266,8 @@ Gate Gate::unitary(std::vector<Qubit> qubits, Matrix u) {
   return g;
 }
 
-Gate Gate::make(GateKind kind, std::vector<Qubit> qs, std::vector<double> ps) {
+Gate Gate::make(GateKind kind, std::vector<Qubit> qs,
+                std::vector<ParamExpr> ps) {
   HISIM_CHECK_MSG(ps.size() == gate_param_count(kind),
                   "wrong parameter count for " << gate_name(kind));
   std::set<Qubit> uniq(qs.begin(), qs.end());

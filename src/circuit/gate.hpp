@@ -1,9 +1,12 @@
 #pragma once
 
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "circuit/matrix.hpp"
+#include "circuit/param.hpp"
 #include "common/types.hpp"
 
 namespace hisim {
@@ -35,8 +38,9 @@ unsigned gate_param_count(GateKind kind);
 std::string gate_name(GateKind kind);
 
 /// A gate application: `kind` acting on `qubits` (for controlled kinds the
-/// *last* qubit is the target, all earlier ones are controls) with real
-/// `params` (rotation angles, in radians).
+/// *last* qubit is the target, all earlier ones are controls) with
+/// `params` (rotation angles, in radians) — each either a concrete value
+/// or a symbolic ParamExpr bound at execute time.
 ///
 /// Local-index convention: for a k-qubit gate, bit j of the local index
 /// corresponds to qubits[j]; unitaries returned by matrix() are expressed
@@ -44,7 +48,7 @@ std::string gate_name(GateKind kind);
 struct Gate {
   GateKind kind = GateKind::I;
   std::vector<Qubit> qubits;
-  std::vector<double> params;
+  std::vector<ParamExpr> params;
   Matrix custom;  // only for kind == Unitary
 
   unsigned arity() const { return static_cast<unsigned>(qubits.size()); }
@@ -53,17 +57,28 @@ struct Gate {
   /// the last qubit).
   unsigned num_controls() const;
 
+  /// True if any parameter is still symbolic — the gate's unitary cannot
+  /// be materialized without a binding context.
+  bool is_parametric() const;
+
   /// True if the gate's unitary is diagonal in the computational basis.
+  /// Diagonality is a property of the gate *kind* alone — no rotation
+  /// angle can break it — so no binding context is needed and compile-time
+  /// passes may call this on symbolic gates.
   bool is_diagonal() const;
 
-  /// The full 2^k x 2^k unitary in the local-index convention above.
-  /// Throws for MCX with more than 12 qubits (callers use the controlled
-  /// fast path instead).
-  Matrix matrix() const;
+  /// The full 2^k x 2^k unitary in the local-index convention above,
+  /// materialized under `bound` (parameter values indexed by param id; see
+  /// resolve_binding). Concrete gates ignore `bound`; symbolic gates throw
+  /// hisim::Error naming the parameter when it is not covered. Throws for
+  /// MCX with more than 12 qubits (callers use the controlled fast path
+  /// instead).
+  Matrix matrix(std::span<const double> bound = {}) const;
 
   /// The 2x2 base matrix applied to the target qubit for controlled kinds
-  /// and plain single-qubit kinds. Throws for SWAP/RZZ/RXX/CSWAP/Unitary.
-  Matrix target_matrix() const;
+  /// and plain single-qubit kinds, materialized under `bound` like
+  /// matrix(). Throws for SWAP/RZZ/RXX/CSWAP/Unitary.
+  Matrix target_matrix(std::span<const double> bound = {}) const;
 
   /// Human-readable form, e.g. "cx q[0],q[3]" or "rz(0.5) q[2]".
   std::string to_string() const;
@@ -81,41 +96,54 @@ struct Gate {
   static Gate t(Qubit q) { return make(GateKind::T, {q}, {}); }
   static Gate tdg(Qubit q) { return make(GateKind::Tdg, {q}, {}); }
   static Gate sx(Qubit q) { return make(GateKind::SX, {q}, {}); }
-  static Gate rx(Qubit q, double th) { return make(GateKind::RX, {q}, {th}); }
-  static Gate ry(Qubit q, double th) { return make(GateKind::RY, {q}, {th}); }
-  static Gate rz(Qubit q, double th) { return make(GateKind::RZ, {q}, {th}); }
-  static Gate p(Qubit q, double lam) { return make(GateKind::P, {q}, {lam}); }
-  static Gate u2(Qubit q, double phi, double lam) {
-    return make(GateKind::U2, {q}, {phi, lam});
+  // Parametric factories accept a concrete double or a symbolic
+  // expression (Param, coeff * Param + offset) interchangeably.
+  static Gate rx(Qubit q, ParamExpr th) {
+    return make(GateKind::RX, {q}, {std::move(th)});
   }
-  static Gate u3(Qubit q, double th, double phi, double lam) {
-    return make(GateKind::U3, {q}, {th, phi, lam});
+  static Gate ry(Qubit q, ParamExpr th) {
+    return make(GateKind::RY, {q}, {std::move(th)});
+  }
+  static Gate rz(Qubit q, ParamExpr th) {
+    return make(GateKind::RZ, {q}, {std::move(th)});
+  }
+  static Gate p(Qubit q, ParamExpr lam) {
+    return make(GateKind::P, {q}, {std::move(lam)});
+  }
+  static Gate u2(Qubit q, ParamExpr phi, ParamExpr lam) {
+    return make(GateKind::U2, {q}, {std::move(phi), std::move(lam)});
+  }
+  static Gate u3(Qubit q, ParamExpr th, ParamExpr phi, ParamExpr lam) {
+    return make(GateKind::U3, {q}, {std::move(th), std::move(phi),
+                                    std::move(lam)});
   }
   static Gate cx(Qubit c, Qubit t) { return make(GateKind::CX, {c, t}, {}); }
   static Gate cy(Qubit c, Qubit t) { return make(GateKind::CY, {c, t}, {}); }
   static Gate cz(Qubit c, Qubit t) { return make(GateKind::CZ, {c, t}, {}); }
   static Gate ch(Qubit c, Qubit t) { return make(GateKind::CH, {c, t}, {}); }
-  static Gate crx(Qubit c, Qubit t, double th) {
-    return make(GateKind::CRX, {c, t}, {th});
+  static Gate crx(Qubit c, Qubit t, ParamExpr th) {
+    return make(GateKind::CRX, {c, t}, {std::move(th)});
   }
-  static Gate cry(Qubit c, Qubit t, double th) {
-    return make(GateKind::CRY, {c, t}, {th});
+  static Gate cry(Qubit c, Qubit t, ParamExpr th) {
+    return make(GateKind::CRY, {c, t}, {std::move(th)});
   }
-  static Gate crz(Qubit c, Qubit t, double th) {
-    return make(GateKind::CRZ, {c, t}, {th});
+  static Gate crz(Qubit c, Qubit t, ParamExpr th) {
+    return make(GateKind::CRZ, {c, t}, {std::move(th)});
   }
-  static Gate cp(Qubit c, Qubit t, double lam) {
-    return make(GateKind::CP, {c, t}, {lam});
+  static Gate cp(Qubit c, Qubit t, ParamExpr lam) {
+    return make(GateKind::CP, {c, t}, {std::move(lam)});
   }
-  static Gate cu3(Qubit c, Qubit t, double th, double phi, double lam) {
-    return make(GateKind::CU3, {c, t}, {th, phi, lam});
+  static Gate cu3(Qubit c, Qubit t, ParamExpr th, ParamExpr phi,
+                  ParamExpr lam) {
+    return make(GateKind::CU3, {c, t}, {std::move(th), std::move(phi),
+                                        std::move(lam)});
   }
   static Gate swap(Qubit a, Qubit b) { return make(GateKind::SWAP, {a, b}, {}); }
-  static Gate rzz(Qubit a, Qubit b, double th) {
-    return make(GateKind::RZZ, {a, b}, {th});
+  static Gate rzz(Qubit a, Qubit b, ParamExpr th) {
+    return make(GateKind::RZZ, {a, b}, {std::move(th)});
   }
-  static Gate rxx(Qubit a, Qubit b, double th) {
-    return make(GateKind::RXX, {a, b}, {th});
+  static Gate rxx(Qubit a, Qubit b, ParamExpr th) {
+    return make(GateKind::RXX, {a, b}, {std::move(th)});
   }
   static Gate ccx(Qubit c0, Qubit c1, Qubit t) {
     return make(GateKind::CCX, {c0, c1, t}, {});
@@ -128,7 +156,7 @@ struct Gate {
 
  private:
   static Gate make(GateKind kind, std::vector<Qubit> qs,
-                   std::vector<double> ps);
+                   std::vector<ParamExpr> ps);
 };
 
 }  // namespace hisim

@@ -1,0 +1,117 @@
+#include "circuit/param.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace hisim {
+
+namespace {
+
+// Binding failures are user input errors, not internal invariants: throw
+// plain Errors (no HISIM_CHECK file/line noise) that name the parameter.
+[[noreturn]] void throw_unbound(const std::string& name) {
+  throw Error("unbound parameter '" + name +
+              "': a symbolic gate needs a binding (pass values via "
+              "ExecOptions::bindings or Circuit::bound)");
+}
+
+}  // namespace
+
+double ParamExpr::value() const {
+  if (symbolic) throw_unbound(name);
+  return offset;
+}
+
+double ParamExpr::value_at(std::span<const double> values) const {
+  if (!symbolic) return offset;
+  if (param >= values.size()) throw_unbound(name);
+  return coeff * values[param] + offset;
+}
+
+std::string ParamExpr::to_string() const {
+  std::ostringstream os;
+  if (!symbolic) {
+    os << offset;
+    return os.str();
+  }
+  if (coeff == -1.0) {
+    os << "-";
+  } else if (coeff != 1.0) {
+    os << coeff << "*";
+  }
+  os << name;
+  if (offset != 0.0) os << (offset > 0 ? "+" : "") << offset;
+  return os.str();
+}
+
+ParamExpr operator*(ParamExpr e, double c) {
+  e.coeff *= c;
+  e.offset *= c;
+  return e;
+}
+ParamExpr operator*(double c, ParamExpr e) { return std::move(e) * c; }
+ParamExpr operator/(ParamExpr e, double c) {
+  e.coeff /= c;
+  e.offset /= c;
+  return e;
+}
+ParamExpr operator+(ParamExpr e, double o) {
+  e.offset += o;
+  return e;
+}
+ParamExpr operator+(double o, ParamExpr e) { return std::move(e) + o; }
+ParamExpr operator-(ParamExpr e, double o) { return std::move(e) + (-o); }
+ParamExpr operator-(double o, ParamExpr e) { return -std::move(e) + o; }
+ParamExpr operator-(ParamExpr e) {
+  e.coeff = -e.coeff;
+  e.offset = -e.offset;
+  return e;
+}
+
+std::vector<double> resolve_binding(std::span<const std::string> names,
+                                    const ParamBinding& binding) {
+  for (const auto& [name, value] : binding) {
+    bool known = false;
+    for (const std::string& n : names) {
+      if (n == name) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::ostringstream os;
+      os << "unknown parameter '" << name << "' in binding (";
+      if (names.empty()) {
+        os << "the circuit has no parameters";
+      } else {
+        os << "circuit parameters:";
+        for (const std::string& n : names) os << " " << n;
+      }
+      os << ")";
+      throw Error(os.str());
+    }
+    if (!std::isfinite(value)) {
+      std::ostringstream os;
+      os << "parameter '" << name << "' bound to non-finite value " << value;
+      throw Error(os.str());
+    }
+  }
+  std::vector<double> values;
+  values.reserve(names.size());
+  for (const std::string& n : names) {
+    const auto it = binding.find(n);
+    if (it == binding.end()) {
+      std::ostringstream os;
+      os << "unbound parameter '" << n
+         << "': every circuit parameter needs a value (got "
+         << binding.size() << " of " << names.size() << " bindings)";
+      throw Error(os.str());
+    }
+    values.push_back(it->second);
+  }
+  return values;
+}
+
+}  // namespace hisim

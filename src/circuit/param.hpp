@@ -1,0 +1,80 @@
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hisim {
+
+/// A named symbolic circuit parameter. Handles are created by
+/// Circuit::param(name) — the circuit assigns the id — and passed to the
+/// parametric gate factories (rx/ry/rz/p/crx/cry/crz/cp/u2/u3/cu3/rzz/rxx)
+/// in place of a concrete angle. The angle is supplied later, at execute
+/// time, through a ParamBinding: the circuit's *structure* (and therefore
+/// everything Engine::compile precomputes — partitioning, lowering, rank
+/// layouts, the exchange schedule) is independent of the value, so one
+/// compiled plan serves every binding.
+struct Param {
+  unsigned id = 0;    // index into the owning circuit's registry
+  std::string name;
+};
+
+/// An affine parameter expression: `coeff * param + offset`, or a plain
+/// concrete value when no parameter is attached. This is the full
+/// expression language — enough for the QAOA/VQE ansatz angles (e.g.
+/// `2.0 * beta`, `-gamma / 2`) while keeping binding a single fused
+/// multiply-add per gate parameter.
+///
+/// Implicitly constructible from `double` (concrete) and from `Param`
+/// (the identity expression `1 * p + 0`), so every gate factory accepts
+/// either without overloads.
+struct ParamExpr {
+  bool symbolic = false;
+  unsigned param = 0;    // param id, meaningful only when symbolic
+  std::string name;      // param name, for messages/printing
+  double coeff = 0.0;    // multiplies the bound value when symbolic
+  double offset = 0.0;   // the concrete value when !symbolic
+
+  ParamExpr() = default;
+  ParamExpr(double v) : offset(v) {}                    // NOLINT: implicit
+  ParamExpr(const Param& p)                             // NOLINT: implicit
+      : symbolic(true), param(p.id), name(p.name), coeff(1.0) {}
+
+  /// The concrete value. Throws hisim::Error naming the parameter when the
+  /// expression is symbolic — materializing a symbolic gate requires a
+  /// binding.
+  double value() const;
+
+  /// The value under `values` (indexed by param id, as produced by
+  /// resolve_binding). Throws hisim::Error naming the parameter when it is
+  /// not covered.
+  double value_at(std::span<const double> values) const;
+
+  /// e.g. "0.5", "gamma0", "2*beta1", "-0.5*gamma0+1.2".
+  std::string to_string() const;
+
+  bool operator==(const ParamExpr&) const = default;
+};
+
+ParamExpr operator*(ParamExpr e, double c);
+ParamExpr operator*(double c, ParamExpr e);
+ParamExpr operator/(ParamExpr e, double c);
+ParamExpr operator+(ParamExpr e, double o);
+ParamExpr operator+(double o, ParamExpr e);
+ParamExpr operator-(ParamExpr e, double o);
+ParamExpr operator-(double o, ParamExpr e);
+ParamExpr operator-(ParamExpr e);
+
+/// One sweep point: parameter name -> value. std::map keeps iteration (and
+/// therefore Result::to_json output) deterministic.
+using ParamBinding = std::map<std::string, double>;
+
+/// Validates `binding` against the parameter registry `names` and returns
+/// the values indexed by param id. Throws hisim::Error, naming the
+/// offending parameter, when a registered parameter is unbound, when the
+/// binding mentions an unknown name, or when a value is NaN/infinite.
+std::vector<double> resolve_binding(std::span<const std::string> names,
+                                    const ParamBinding& binding);
+
+}  // namespace hisim

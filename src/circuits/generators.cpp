@@ -72,19 +72,47 @@ Circuit bv(unsigned n, std::uint64_t secret) {
   return c;
 }
 
-Circuit qaoa(unsigned n, unsigned rounds, std::uint64_t seed) {
+QaoaInstance qaoa_instance(unsigned n, unsigned rounds, std::uint64_t seed) {
   HISIM_CHECK(n >= 3);
+  QaoaInstance inst;
+  inst.edges = regular_graph(n, seed);
   Circuit c(n, "qaoa");
-  const auto edges = regular_graph(n, seed);
-  Rng rng(seed ^ 0xA0A0ull);
   for (Qubit i = 0; i < n; ++i) c.add(Gate::h(i));
   for (unsigned r = 0; r < rounds; ++r) {
-    const double gamma = rng.uniform(0.1, M_PI);
-    const double beta = rng.uniform(0.1, M_PI / 2);
-    for (const auto& [a, b] : edges) add_zz(c, a, b, gamma);
+    const Param gamma = c.param("gamma" + std::to_string(r));
+    const Param beta = c.param("beta" + std::to_string(r));
+    inst.gammas.push_back(gamma.name);
+    inst.betas.push_back(beta.name);
+    for (const auto& [a, b] : inst.edges) {
+      c.add(Gate::cx(a, b));
+      c.add(Gate::rz(b, gamma));
+      c.add(Gate::cx(a, b));
+    }
     for (Qubit i = 0; i < n; ++i) c.add(Gate::rx(i, 2.0 * beta));
   }
-  return c;
+  inst.circuit = std::move(c);
+  return inst;
+}
+
+ParamBinding QaoaInstance::uniform_binding(double gamma, double beta) const {
+  ParamBinding binding;
+  for (const std::string& g : gammas) binding[g] = gamma;
+  for (const std::string& b : betas) binding[b] = beta;
+  return binding;
+}
+
+Circuit qaoa(unsigned n, unsigned rounds, std::uint64_t seed) {
+  // Same construction, same rng draw order as always — expressed as the
+  // parameterized instance bound at fixed angles, so the two forms cannot
+  // drift apart.
+  const QaoaInstance inst = qaoa_instance(n, rounds, seed);
+  Rng rng(seed ^ 0xA0A0ull);
+  ParamBinding binding;
+  for (unsigned r = 0; r < rounds; ++r) {
+    binding[inst.gammas[r]] = rng.uniform(0.1, M_PI);
+    binding[inst.betas[r]] = rng.uniform(0.1, M_PI / 2);
+  }
+  return inst.circuit.bound(binding);
 }
 
 Circuit cc(unsigned n, std::uint64_t coins) {

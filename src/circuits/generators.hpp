@@ -2,6 +2,7 @@
 
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "circuit/circuit.hpp"
@@ -20,8 +21,27 @@ Circuit cat_state(unsigned n);
 Circuit bv(unsigned n, std::uint64_t secret = 0xB57AC1Eull);
 
 /// MaxCut QAOA on a random 3-regular-ish graph: `rounds` alternating cost
-/// (CX-RZ-CX per edge) and mixer (RX) layers after an initial H layer.
+/// (CX-RZ-CX per edge) and mixer (RX) layers after an initial H layer,
+/// with fixed pseudo-random angles. Equivalent to binding qaoa_instance()
+/// with the same seed's angle draw.
 Circuit qaoa(unsigned n, unsigned rounds = 8, std::uint64_t seed = 7);
+
+/// A MaxCut QAOA instance with *symbolic* angles: the sweep form of
+/// qaoa(). The circuit declares parameters "gamma<r>"/"beta<r>" per round
+/// (cost layer RZ(gamma_r) per edge, mixer RX(2*beta_r) per qubit), so one
+/// Engine::compile serves every parameter point via ExecOptions::bindings
+/// / execute_sweep. The problem-graph edges are exposed directly — no
+/// scraping them back out of the gate stream.
+struct QaoaInstance {
+  Circuit circuit;  // parameterized; structure fixed by (n, rounds, seed)
+  std::vector<std::pair<Qubit, Qubit>> edges;  // MaxCut problem graph
+  std::vector<std::string> gammas, betas;      // param names, round order
+  /// Binding that sets every round's angles to the same (gamma, beta)
+  /// point — the standard 2-D grid-search axis.
+  ParamBinding uniform_binding(double gamma, double beta) const;
+};
+QaoaInstance qaoa_instance(unsigned n, unsigned rounds = 8,
+                           std::uint64_t seed = 7);
 
 /// Counterfeit-coin finding: superposed weighings of a marked coin subset
 /// against an oracle ancilla (qubit n-1).

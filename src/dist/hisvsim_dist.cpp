@@ -75,10 +75,12 @@ DistPlan compile_plan(const Circuit& c, const DistOptions& opt,
     step.layout = RankLayout::for_part(n, p, part.qubits, *prev);
 
     Circuit local(l);
+    for (const std::string& pn : plan.circuit.param_names()) local.param(pn);
     for (std::size_t gi : part.gates) {
       Gate g = plan.circuit.gate(gi);
       for (Qubit& q : g.qubits)
         q = static_cast<Qubit>(step.layout.slot_of(q));
+      step.parametric = step.parametric || g.is_parametric();
       local.add(std::move(g));
     }
     step.local = std::move(local);
@@ -102,7 +104,8 @@ DistPlan compile_plan(const Circuit& c, const DistOptions& opt,
 }
 
 DistRunReport execute_plan(const DistPlan& plan, DistState& state,
-                           const NetworkModel& net, CommBackend* backend_ptr) {
+                           const NetworkModel& net, CommBackend* backend_ptr,
+                           std::span<const double> param_values) {
   const unsigned n = plan.num_qubits;
   const unsigned p = plan.process_qubits;
   HISIM_CHECK_MSG(state.num_qubits() == n && state.num_ranks() == (1u << p),
@@ -132,6 +135,19 @@ DistRunReport execute_plan(const DistPlan& plan, DistState& state,
     // backend — its movement already happened).
     const double comm_begin = wall.seconds();
 
+    // Materialize a parametric step against the binding context while the
+    // exchange is (possibly) still in flight: only the angle values are
+    // substituted — the layout, slot remapping, and inner partitioning
+    // above are the plan's precomputed structure. Gate count and order are
+    // preserved, so step.inner's gate indices stay valid.
+    Circuit bound_storage;
+    const Circuit* local_circuit = &step.local;
+    if (step.parametric) {
+      bound_storage = step.local.bound(param_values);
+      local_circuit = &bound_storage;
+    }
+    const Circuit& local = *local_circuit;
+
     // (2) Local apply: the plan already holds the part's gates remapped to
     // local slots, so each gate is block-diagonal over ranks and applies
     // shard-locally. Ranks are independent, so the apply loop fans out
@@ -149,12 +165,12 @@ DistRunReport execute_plan(const DistPlan& plan, DistState& state,
             if (handle) handle->wait_shard(rank);
             const double t0 = wall.seconds();
             if (step.inner.num_parts() == 0) {
-              for (const Gate& g : step.local.gates())
+              for (const Gate& g : local.gates())
                 sv::apply_gate(state.local(rank), g);
             } else {
               sv::HierarchicalStats scratch;  // per-rank: run_part mutates it
               for (const partition::Part& ip : step.inner.parts)
-                sv::run_part(step.local, ip.gates, ip.qubits,
+                sv::run_part(local, ip.gates, ip.qubits,
                              state.local(rank), scratch);
             }
             const double t1 = wall.seconds();

@@ -112,10 +112,16 @@ struct DistPlan {
   struct Step {
     RankLayout layout;   // post-exchange layout (== previous when no move)
     /// The part's gates with qubits remapped to local slots under
-    /// `layout` — ready for a direct shard-local apply.
+    /// `layout` — ready for a direct shard-local apply. May still carry
+    /// symbolic parameters; execute_plan materializes them per binding.
     Circuit local;
     /// Second-level partitioning of `local` (empty when level2_limit == 0).
+    /// Gate indices stay valid across binding: materialization preserves
+    /// gate count and order.
     partition::Partitioning inner;
+    /// Precomputed: any gate of `local` carries a symbolic parameter, so
+    /// executing this step requires per-binding materialization.
+    bool parametric = false;
   };
   std::vector<Step> steps;
 
@@ -133,9 +139,18 @@ DistPlan compile_plan(const Circuit& c, const DistOptions& opt,
 /// plan.initial_layout). Repeatable: only amplitudes move; no partitioning
 /// or layout planning happens here. The report's parts/partition_seconds
 /// are copied from the plan so existing consumers see unchanged totals.
+///
+/// `param_values` is the binding context for a parameterized plan (values
+/// indexed by the source circuit's param ids, as produced by
+/// resolve_binding): each parametric step's local sub-circuit is
+/// materialized against it just before the shard-local apply — the
+/// exchange schedule, layouts, and inner partitions are reused as-is.
+/// Executing a parametric step with no covering value throws hisim::Error
+/// naming the parameter.
 DistRunReport execute_plan(const DistPlan& plan, DistState& state,
                            const NetworkModel& net,
-                           CommBackend* backend = nullptr);
+                           CommBackend* backend = nullptr,
+                           std::span<const double> param_values = {});
 
 /// The paper's distributed hierarchical simulator (Sec. V), executed on
 /// simulated ranks: partition the circuit so every part fits in one

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <limits>
 
@@ -35,16 +36,88 @@ partition::Strategy parse_strategy(const std::string& s) {
   throw Error("unknown strategy '" + s + "' (expected dagp, dfs, nat)");
 }
 
+/// Strict finite-double parse (whole value must be consumed). Overflow
+/// yields ±inf and is rejected by the isfinite check; underflow to a
+/// subnormal (which sets ERANGE on glibc) is a representable finite value
+/// and accepted.
+double parse_double(const std::string& flag, const std::string& value) {
+  HISIM_CHECK_MSG(!value.empty(), flag << " needs a value");
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  HISIM_CHECK_MSG(end && *end == '\0' && std::isfinite(v),
+                  flag << ": '" << value << "' is not a finite number");
+  return v;
+}
+
+/// `--bind name=value`: fixed parameter value for this run.
+void parse_bind(Flags& f, const std::string& spec) {
+  const std::size_t eq = spec.find('=');
+  HISIM_CHECK_MSG(eq != std::string::npos && eq > 0,
+                  "--bind expects name=value, got '" << spec << "'");
+  const std::string name = spec.substr(0, eq);
+  HISIM_CHECK_MSG(!f.bindings.count(name),
+                  "--bind " << name << " given twice (each parameter takes "
+                                       "exactly one value)");
+  f.bindings[name] = parse_double("--bind " + name, spec.substr(eq + 1));
+}
+
+/// `--sweep name=start:stop:steps`: one grid axis.
+void parse_sweep(Flags& f, const std::string& spec) {
+  const std::size_t eq = spec.find('=');
+  HISIM_CHECK_MSG(eq != std::string::npos && eq > 0,
+                  "--sweep expects name=start:stop:steps, got '" << spec
+                                                                 << "'");
+  SweepSpec s;
+  s.name = spec.substr(0, eq);
+  const std::string range = spec.substr(eq + 1);
+  const std::size_t c1 = range.find(':');
+  const std::size_t c2 = c1 == std::string::npos ? std::string::npos
+                                                 : range.find(':', c1 + 1);
+  HISIM_CHECK_MSG(c1 != std::string::npos && c2 != std::string::npos,
+                  "--sweep " << s.name
+                             << " expects start:stop:steps, got '" << range
+                             << "'");
+  s.start = parse_double("--sweep " + s.name, range.substr(0, c1));
+  s.stop = parse_double("--sweep " + s.name, range.substr(c1 + 1, c2 - c1 - 1));
+  s.steps = static_cast<unsigned>(
+      parse_uint("--sweep " + s.name, range.substr(c2 + 1)));
+  HISIM_CHECK_MSG(s.steps >= 1, "--sweep " << s.name << " needs steps >= 1");
+  HISIM_CHECK_MSG(s.steps > 1 || s.start == s.stop,
+                  "--sweep " << s.name << ": steps=1 pins a single value, "
+                                          "so start must equal stop");
+  for (const SweepSpec& prev : f.sweeps)
+    HISIM_CHECK_MSG(prev.name != s.name,
+                    "--sweep " << s.name << " given twice (combine into one "
+                                            "axis)");
+  f.sweeps.push_back(std::move(s));
+}
+
 }  // namespace
 
 Flags parse_flags(const std::vector<std::string>& args) {
   Flags f;
-  for (const std::string& a : args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
     const auto val = [&a](const char* name) -> const char* {
       const std::size_t n = std::char_traits<char>::length(name);
       return a.rfind(name, 0) == 0 ? a.c_str() + n : nullptr;
     };
-    if (const char* v = val("--qubits=")) {
+    // Repeatable parameter flags, in both `--bind=name=value` and
+    // `--bind name=value` (two-argument) spellings.
+    const auto two_token = [&](const char* name) -> const char* {
+      if (a != name) return nullptr;
+      HISIM_CHECK_MSG(i + 1 < args.size(), name << " needs an argument");
+      return args[++i].c_str();
+    };
+    if (const char* v = val("--bind=")) {
+      parse_bind(f, v);
+    } else if (const char* v = two_token("--bind")) {
+      parse_bind(f, v);
+    } else if (const char* v = val("--sweep=")) {
+      parse_sweep(f, v);
+    } else if (const char* v = two_token("--sweep")) {
+      parse_sweep(f, v);
+    } else if (const char* v = val("--qubits=")) {
       f.qubits = static_cast<unsigned>(parse_uint("--qubits", v));
     } else if (const char* v = val("--limit=")) {
       f.limit = static_cast<unsigned>(parse_uint("--limit", v));
@@ -81,7 +154,57 @@ Flags parse_flags(const std::vector<std::string>& args) {
       throw Error("unknown flag: " + a);
     }
   }
+  // Order-independent contradiction checks: a parameter cannot be both
+  // pinned and swept, whichever flag came first, and sweep runs are
+  // report-per-point only — silently dropping --shots would be the same
+  // "fix it quietly" failure mode the rest of this parser rejects.
+  for (const SweepSpec& s : f.sweeps)
+    HISIM_CHECK_MSG(!f.bindings.count(s.name),
+                    "parameter '" << s.name
+                                  << "' is both --bind and --sweep (drop "
+                                     "one of the two)");
+  HISIM_CHECK_MSG(f.sweeps.empty() || f.shots == 0,
+                  "--shots has no effect with --sweep (per-point output "
+                  "carries no samples); run the chosen point separately "
+                  "with --bind");
   return f;
+}
+
+std::vector<ParamBinding> sweep_points(const Flags& f) {
+  if (f.sweeps.empty()) return {};
+  // Cap the grid so a typo'd steps value fails loudly instead of
+  // OOM-aborting while materializing the points (same reject-bad-input
+  // policy as the parser). 10^6 points is far beyond any real sweep.
+  constexpr std::size_t kMaxPoints = 1'000'000;
+  std::size_t total = 1;
+  for (const SweepSpec& s : f.sweeps) {
+    HISIM_CHECK_MSG(s.steps <= kMaxPoints / total,
+                    "sweep grid exceeds " << kMaxPoints
+                                          << " points (multiply the --sweep "
+                                             "steps together); shrink an "
+                                             "axis");
+    total *= s.steps;
+  }
+  std::vector<ParamBinding> points;
+  points.reserve(total);
+  // Cartesian product, last axis fastest (odometer order).
+  std::vector<unsigned> idx(f.sweeps.size(), 0);
+  for (std::size_t p = 0; p < total; ++p) {
+    ParamBinding binding = f.bindings;
+    for (std::size_t ax = 0; ax < f.sweeps.size(); ++ax) {
+      const SweepSpec& s = f.sweeps[ax];
+      binding[s.name] =
+          s.steps == 1
+              ? s.start
+              : s.start + (s.stop - s.start) * idx[ax] / (s.steps - 1);
+    }
+    points.push_back(std::move(binding));
+    for (std::size_t ax = f.sweeps.size(); ax-- > 0;) {
+      if (++idx[ax] < f.sweeps[ax].steps) break;
+      idx[ax] = 0;
+    }
+  }
+  return points;
 }
 
 Target effective_target(const Flags& f) {

@@ -12,6 +12,15 @@
 /// actionable messages instead of silently "fixing" bad input.
 namespace hisim::cli {
 
+/// One `--sweep name=start:stop:steps` axis: `steps` evenly spaced values
+/// from start to stop inclusive (steps == 1 pins the single value start).
+struct SweepSpec {
+  std::string name;
+  double start = 0.0;
+  double stop = 0.0;
+  unsigned steps = 0;
+};
+
 struct Flags {
   unsigned qubits = 14;
   unsigned limit = 0;
@@ -30,6 +39,12 @@ struct Flags {
   /// A target that contradicts --backend/--level2 is rejected.
   bool has_target = false;
   Target target = Target::Hierarchical;
+  /// Fixed parameter values from repeated --bind name=value flags.
+  ParamBinding bindings;
+  /// Sweep axes from repeated --sweep name=start:stop:steps flags; the run
+  /// executes their cartesian product (see sweep_points). A name may not
+  /// be both bound and swept, nor repeated.
+  std::vector<SweepSpec> sweeps;
 };
 
 /// Parses `args` (flags only, no program/command words). Throws
@@ -37,7 +52,18 @@ struct Flags {
 /// strategy/backend/target name, or a --ranks value that is not a power
 /// of two (ranks map to 2^p simulated processes — a non-power-of-two
 /// count has no p and used to be silently rounded up).
+///
+/// --bind and --sweep are repeatable and accept both `--bind name=value`
+/// (two arguments) and `--bind=name=value`. Contradictions — a parameter
+/// both bound and swept, or given twice — are rejected here; a parameter
+/// the plan declares but the flags leave unbound is rejected at execute
+/// with an Error naming it.
 Flags parse_flags(const std::vector<std::string>& args);
+
+/// The execute_sweep input for `f`: the cartesian product of the sweep
+/// axes (last axis fastest), each point also carrying every --bind value.
+/// Empty when no --sweep was given (plain single execution).
+std::vector<ParamBinding> sweep_points(const Flags& f);
 
 /// The target a `hisim run` uses: the explicit --target if given, else
 /// derived from the other flags — distributed-serial/-threaded (per

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <exception>
+#include <mutex>
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "dag/circuit_dag.hpp"
@@ -55,6 +58,11 @@ namespace detail {
 struct PlanImpl {
   Options opt;
   Circuit circuit;  // single-node / IQS targets execute this directly
+  /// Symbolic parameter registry of the compiled circuit (id order).
+  /// Non-empty iff the plan is parameterized, in which case every execute
+  /// resolves ExecOptions::bindings against it and materializes gate
+  /// matrices per binding — the plan structure never changes.
+  std::vector<std::string> param_names;
   unsigned effective_limit = 0;
   unsigned effective_level2 = 0;
   double compile_seconds = 0.0;
@@ -113,15 +121,19 @@ void json_int(std::ostringstream& os, bool& first, const char* key,
   os << v;
 }
 
-void json_str(std::ostringstream& os, bool& first, const char* key,
-              const std::string& v) {
-  append_kv(os, first, key);
+void json_quoted(std::ostringstream& os, const std::string& v) {
   os << '"';
   for (char ch : v) {
     if (ch == '"' || ch == '\\') os << '\\';
     os << ch;
   }
   os << '"';
+}
+
+void json_str(std::ostringstream& os, bool& first, const char* key,
+              const std::string& v) {
+  append_kv(os, first, key);
+  json_quoted(os, v);
 }
 
 }  // namespace
@@ -179,6 +191,22 @@ std::string Result::to_json() const {
     json_num(os, first, "flops", flops);
   }
   json_num(os, first, "total_seconds", total_seconds());
+  if (!params.empty()) {
+    append_kv(os, first, "params");
+    os << '{';
+    bool pfirst = true;
+    for (const auto& [name, value] : params) {
+      if (!pfirst) os << ", ";
+      pfirst = false;
+      json_quoted(os, name);
+      // 17 significant digits: the printed angle re-binds to the exact
+      // double that executed (same round-trip policy as qasm/writer.cpp).
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.17g", value);
+      os << ": " << buf;
+    }
+    os << '}';
+  }
   json_int(os, first, "shots", samples.size());
   if (!observables.empty()) {
     append_kv(os, first, "observables");
@@ -226,6 +254,10 @@ double ExecutionPlan::partition_seconds() const {
   HISIM_CHECK_MSG(impl_, "empty ExecutionPlan");
   return impl_->partition_seconds;
 }
+const std::vector<std::string>& ExecutionPlan::param_names() const {
+  HISIM_CHECK_MSG(impl_, "empty ExecutionPlan");
+  return impl_->param_names;
+}
 
 ExecutionPlan Engine::compile(const Circuit& c, const Options& opt) {
   return Engine(opt).compile(c);
@@ -235,6 +267,7 @@ ExecutionPlan Engine::compile(const Circuit& c) const {
   Timer compile_timer;
   auto impl = std::make_shared<PlanImpl>();
   impl->opt = opt_;
+  impl->param_names = c.param_names();
   // The distributed targets execute dplan.circuit (the possibly-lowered
   // copy compile_plan makes); storing the input here too would just
   // double the plan's circuit memory.
@@ -332,10 +365,32 @@ Result ExecutionPlan::execute(const ExecOptions& opts) const {
   HISIM_CHECK_MSG(impl_, "execute() called on an empty ExecutionPlan");
   const PlanImpl& plan = *impl_;
   const Options& opt = plan.opt;
-  const Circuit& c = plan.executed_circuit();
-  const unsigned n = c.num_qubits();
+  const unsigned n = plan.executed_circuit().num_qubits();
+
+  // Resolve the binding context up front: a parameterized plan needs every
+  // parameter covered, a concrete plan rejects stray bindings — both with
+  // an Error naming the parameter. The values are indexed by param id, the
+  // order Circuit::param registered them.
+  std::vector<double> param_values;
+  if (!plan.param_names.empty() || !opts.bindings.empty())
+    param_values = resolve_binding(plan.param_names, opts.bindings);
+
+  // Materialize the executed circuit for the targets that apply it whole.
+  // The distributed-serial/-threaded targets instead materialize per step
+  // inside dist::execute_plan, overlapping with the exchange. This is the
+  // only per-binding cost: the plan structure (partitioning, layouts,
+  // exchange schedule) is shared untouched.
+  const bool bind_whole =
+      !plan.param_names.empty() && (opt.target == Target::Flat ||
+                                    opt.target == Target::Hierarchical ||
+                                    opt.target == Target::Multilevel ||
+                                    opt.target == Target::IqsBaseline);
+  const Circuit bound_storage =
+      bind_whole ? plan.executed_circuit().bound(param_values) : Circuit();
+  const Circuit& c = bind_whole ? bound_storage : plan.executed_circuit();
 
   Result r;
+  r.params = opts.bindings;
   r.circuit = c.name();
   r.qubits = n;
   r.gates = c.num_gates();
@@ -392,8 +447,9 @@ Result ExecutionPlan::execute(const ExecOptions& opts) const {
       r.compute_seconds = ir.compute_seconds;
       r.comm = ir.comm;
     } else {
-      const dist::DistRunReport dr = dist::execute_plan(
-          plan.dplan, st, opts.net, backend_for_target(opt.target));
+      const dist::DistRunReport dr =
+          dist::execute_plan(plan.dplan, st, opts.net,
+                             backend_for_target(opt.target), param_values);
       r.compute_seconds = dr.compute_seconds;
       r.comm = dr.comm;
       r.part_times = dr.part_times;
@@ -426,6 +482,57 @@ Result ExecutionPlan::execute(const ExecOptions& opts) const {
     r.observables.push_back(sv::expectation(state, p));
   if (opts.want_state) r.state = std::move(state);
   return r;
+}
+
+std::vector<Result> ExecutionPlan::execute_sweep(
+    std::span<const ParamBinding> points, const ExecOptions& opts) const {
+  HISIM_CHECK_MSG(impl_, "execute_sweep() called on an empty ExecutionPlan");
+  // Validate every point on the calling thread before any work is
+  // spawned: binding errors (unbound/unknown/non-finite) surface here
+  // with the point index, never from inside a pool worker.
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    try {
+      resolve_binding(impl_->param_names, points[i]);
+    } catch (const Error& e) {
+      throw Error("sweep point " + std::to_string(i) + ": " + e.what());
+    }
+  }
+
+  // Shared ExecOptions preconditions fail here too, not on a worker.
+  if (opts.initial_state) {
+    const unsigned n = impl_->executed_circuit().num_qubits();
+    HISIM_CHECK_MSG(opts.initial_state->num_qubits() == n,
+                    "initial state has " << opts.initial_state->num_qubits()
+                                         << " qubits, plan expects " << n);
+  }
+
+  // Each point is an independent execute() on private state, so the
+  // points fan out over the worker pool; for_range regions issued inside
+  // execute() run inline (nested-region rule), keeping one pool for the
+  // whole sweep. Any residual throw (allocation failure, internal check)
+  // is captured and rethrown on the calling thread — an exception must
+  // never escape into the pool's worker loop.
+  std::vector<Result> results(points.size());
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  parallel::for_range(
+      0, points.size(),
+      [&](Index lo, Index hi) {
+        for (Index i = lo; i < hi; ++i) {
+          try {
+            ExecOptions point_opts = opts;
+            point_opts.bindings = points[i];
+            results[i] = execute(point_opts);
+          } catch (...) {
+            std::lock_guard lk(err_mu);
+            if (!first_error) first_error = std::current_exception();
+            return;
+          }
+        }
+      },
+      /*grain=*/1);
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
 }
 
 }  // namespace hisim

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -23,6 +24,13 @@
 /// requests), each run paying only amplitude movement and gate
 /// application. Plans are cheaply copyable handles to shared immutable
 /// state and safe to execute concurrently from multiple threads.
+///
+/// Compiling a *parameterized* circuit (Circuit::param + symbolic gate
+/// factories) stretches the amortization across whole sweep workloads:
+/// every compile artifact depends only on circuit structure, so the plan
+/// is built once and each sweep point is a pure execute — pass the point's
+/// angles via ExecOptions::bindings, or a whole batch of points to
+/// ExecutionPlan::execute_sweep(), which fans out over the worker pool.
 namespace hisim {
 
 /// Where and how a compiled circuit executes. Single-node targets operate
@@ -86,6 +94,11 @@ struct ExecOptions {
   /// Pauli-string observables evaluated on the final state; one value per
   /// entry lands in Result::observables.
   std::vector<sv::PauliString> observables;
+  /// Values for the plan's symbolic parameters (see Circuit::param), by
+  /// name. A parameterized plan requires every parameter bound — an
+  /// unbound parameter, an unknown name, or a non-finite value throws
+  /// hisim::Error naming the parameter. Must be empty for concrete plans.
+  ParamBinding bindings;
   /// When false, Result::state is left empty — report-only runs (e.g. the
   /// benches) then skip the O(2^n) full-state gather on the sharded
   /// targets entirely (unless shots/observables require it). norm is
@@ -141,6 +154,10 @@ struct Result {
   sv::StateVector state;           // final state (gathered when sharded)
   std::vector<Index> samples;      // ExecOptions::shots outcomes
   std::vector<double> observables; // one per ExecOptions::observables
+  /// The parameter values this execution was bound with (copied from
+  /// ExecOptions::bindings), so sweep outputs are self-describing; empty
+  /// for concrete plans. Serialized by to_json() as "params".
+  ParamBinding params;
 
   /// Modeled serial total: compute + slowest-host comm for distributed
   /// targets, the gather/apply/scatter sum otherwise.
@@ -168,10 +185,29 @@ class ExecutionPlan {
   /// Runs the plan once. Every call starts from |0...0> (or
   /// opts.initial_state), so executions are independent and repeatable:
   /// the same plan and ExecOptions yield bit-identical states. No
-  /// partitioning, lowering, or layout planning happens here.
+  /// partitioning, lowering, or layout planning happens here — for a
+  /// parameterized plan only the gate matrices are materialized against
+  /// opts.bindings (which must then cover every parameter).
   Result execute(const ExecOptions& opts = {}) const;
 
+  /// Runs the plan once per sweep point, concurrently over the worker
+  /// pool, and returns one Result per point in input order. Each point is
+  /// an independent execute() with opts.bindings replaced by that point
+  /// (everything else in `opts` — shots, observables, want_state — applies
+  /// to every point; prefer want_state = false for large sweeps, which
+  /// would otherwise hold every point's full state in memory at once).
+  /// Every point is validated against the plan's parameters up front, so
+  /// a malformed binding throws on the calling thread before any work
+  /// starts.
+  std::vector<Result> execute_sweep(std::span<const ParamBinding> points,
+                                    const ExecOptions& opts = {}) const;
+
   bool valid() const { return impl_ != nullptr; }
+  /// The symbolic parameters the compiled circuit declares (binding keys
+  /// for execute/execute_sweep), in registration order. Empty for
+  /// concrete plans.
+  const std::vector<std::string>& param_names() const;
+  bool parameterized() const { return !param_names().empty(); }
   const Options& options() const;
   Target target() const;
   /// The circuit as executed (lowered when wide gates required it).

@@ -22,6 +22,7 @@ std::vector<ExportedPart> export_parts(const Circuit& c,
       slot_of[part.qubits[j]] = static_cast<Qubit>(j);
     ep.circuit = Circuit(static_cast<unsigned>(part.qubits.size()),
                          c.name() + "_p" + std::to_string(pi));
+    for (const std::string& p : c.param_names()) ep.circuit.param(p);
     for (std::size_t gi : part.gates) {
       Gate g = c.gate(gi);
       for (Qubit& q : g.qubits) q = slot_of[q];

@@ -12,6 +12,9 @@ std::size_t TwoLevelPartitioning::total_inner_parts() const {
 
 Circuit part_subcircuit(const Circuit& c, const Part& part) {
   Circuit sub(c.num_qubits(), c.name() + "_part");
+  // Keep the parameter registry: level-2 partitioning runs at compile
+  // time, when gates may still carry symbolic expressions.
+  for (const std::string& p : c.param_names()) sub.param(p);
   for (std::size_t gi : part.gates) sub.add(c.gate(gi));
   return sub;
 }

@@ -396,12 +396,12 @@ class Parser {
     g.kind = it->second;
     g.qubits = qs;
     // u/U with 3 params is u3; u1-style single param accepted for "p".
-    std::vector<double> ps = params;
+    const std::vector<double>& ps = params;
     HISIM_CHECK_MSG(ps.size() == gate_param_count(g.kind),
                     "gate " << name << " expects "
                             << gate_param_count(g.kind) << " params, got "
                             << ps.size());
-    g.params = std::move(ps);
+    g.params.assign(ps.begin(), ps.end());
     circuit_.add(std::move(g));
   }
 

@@ -25,7 +25,9 @@ void write_gate(std::ostringstream& os, const Gate& g) {
     os << "(";
     for (std::size_t i = 0; i < g.params.size(); ++i) {
       if (i) os << ",";
-      os << std::setprecision(17) << g.params[i];
+      // OpenQASM 2.0 has no symbolic parameters: value() throws a clear
+      // hisim::Error (naming the parameter) for unbound symbolic gates.
+      os << std::setprecision(17) << g.params[i].value();
     }
     os << ")";
   }

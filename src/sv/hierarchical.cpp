@@ -107,6 +107,7 @@ HierarchicalStats HierarchicalSimulator::run(
       mask |= Index{1} << p1.qubits[j];
     }
     Circuit inner_circuit(w1);
+    for (const std::string& p : c.param_names()) inner_circuit.param(p);
     for (std::size_t gi : p1.gates) {
       Gate g = c.gate(gi);
       for (Qubit& q : g.qubits) q = slot1[q];

@@ -143,6 +143,88 @@ TEST(CliFlags, EngineOptionsRoundTrip) {
   EXPECT_EQ(o.strategy, partition::Strategy::Dfs);
 }
 
+TEST(CliFlags, BindParsesBothSpellings) {
+  const Flags f = parse_flags(
+      {"--bind", "gamma0=0.5", "--bind=beta0=-1.25e-1"});
+  ASSERT_EQ(f.bindings.size(), 2u);
+  EXPECT_EQ(f.bindings.at("gamma0"), 0.5);
+  EXPECT_EQ(f.bindings.at("beta0"), -0.125);
+  // Subnormal underflow is a representable finite value (glibc sets
+  // ERANGE for it); only real overflow/NaN are rejected.
+  EXPECT_EQ(parse_flags({"--bind=g=1e-310"}).bindings.at("g"), 1e-310);
+  EXPECT_THROW(parse_flags({"--bind=g=1e999"}), Error);
+}
+
+TEST(CliFlags, SweepParsesAxes) {
+  const Flags f = parse_flags({"--sweep", "gamma0=0:3:4",
+                               "--sweep=beta0=0.5:0.5:1"});
+  ASSERT_EQ(f.sweeps.size(), 2u);
+  EXPECT_EQ(f.sweeps[0].name, "gamma0");
+  EXPECT_EQ(f.sweeps[0].start, 0.0);
+  EXPECT_EQ(f.sweeps[0].stop, 3.0);
+  EXPECT_EQ(f.sweeps[0].steps, 4u);
+  EXPECT_EQ(f.sweeps[1].steps, 1u);
+
+  const auto points = sweep_points(f);
+  ASSERT_EQ(points.size(), 4u);  // 4 x 1 grid
+  EXPECT_EQ(points[0].at("gamma0"), 0.0);
+  EXPECT_EQ(points[1].at("gamma0"), 1.0);
+  EXPECT_EQ(points[3].at("gamma0"), 3.0);
+  for (const ParamBinding& p : points) EXPECT_EQ(p.at("beta0"), 0.5);
+}
+
+TEST(CliFlags, SweepPointsAreCartesianWithBinds) {
+  const Flags f = parse_flags({"--sweep=a=0:1:2", "--sweep=b=0:2:3",
+                               "--bind=c=9"});
+  const auto points = sweep_points(f);
+  ASSERT_EQ(points.size(), 6u);  // 2 x 3, last axis fastest
+  EXPECT_EQ(points[0].at("a"), 0.0);
+  EXPECT_EQ(points[0].at("b"), 0.0);
+  EXPECT_EQ(points[1].at("b"), 1.0);
+  EXPECT_EQ(points[2].at("b"), 2.0);
+  EXPECT_EQ(points[3].at("a"), 1.0);
+  for (const ParamBinding& p : points) EXPECT_EQ(p.at("c"), 9.0);
+  // No --sweep: nothing to expand (plain single execution).
+  EXPECT_TRUE(sweep_points(parse_flags({"--bind=c=9"})).empty());
+}
+
+TEST(CliFlags, RejectsMalformedAndContradictoryParams) {
+  EXPECT_THROW(parse_flags({"--bind=gamma0"}), Error);          // no value
+  EXPECT_THROW(parse_flags({"--bind==0.5"}), Error);            // no name
+  EXPECT_THROW(parse_flags({"--bind=g=abc"}), Error);           // not a number
+  EXPECT_THROW(parse_flags({"--bind=g=nan"}), Error);           // non-finite
+  EXPECT_THROW(parse_flags({"--bind"}), Error);                 // dangling
+  EXPECT_THROW(parse_flags({"--sweep=g=0:1"}), Error);          // no steps
+  EXPECT_THROW(parse_flags({"--sweep=g=0:1:0"}), Error);        // steps=0
+  EXPECT_THROW(parse_flags({"--sweep=g=0:1:1"}), Error);  // 1 step, 2 values
+  // Duplicates and bind/sweep contradictions, in either flag order.
+  EXPECT_THROW(parse_flags({"--bind=g=1", "--bind=g=2"}), Error);
+  EXPECT_THROW(parse_flags({"--sweep=g=0:1:2", "--sweep=g=0:2:3"}), Error);
+  EXPECT_THROW(parse_flags({"--bind=g=1", "--sweep=g=0:1:2"}), Error);
+  EXPECT_THROW(parse_flags({"--sweep=g=0:1:2", "--bind=g=1"}), Error);
+  try {
+    parse_flags({"--bind=g=1", "--sweep=g=0:1:2"});
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("'g'"), std::string::npos);
+  }
+  // --shots is single-run only; silently dropping it in sweep mode would
+  // be the quiet-fix failure mode this parser exists to reject.
+  EXPECT_THROW(parse_flags({"--sweep=g=0:1:2", "--shots=100"}), Error);
+  EXPECT_NO_THROW(parse_flags({"--bind=g=1", "--shots=100"}));
+}
+
+TEST(CliFlags, SweepGridSizeIsCapped) {
+  // A typo'd steps value must fail with a clear Error, not OOM while
+  // materializing the grid (overflow-safe across axes too).
+  EXPECT_THROW(sweep_points(parse_flags({"--sweep=a=0:1:4294967295"})),
+               Error);
+  EXPECT_THROW(sweep_points(parse_flags({"--sweep=a=0:1:100000",
+                                         "--sweep=b=0:1:100000"})),
+               Error);
+  EXPECT_EQ(sweep_points(parse_flags({"--sweep=a=0:1:1000"})).size(), 1000u);
+}
+
 TEST(CliFlags, TargetNameRoundTrip) {
   for (Target t : {Target::Flat, Target::Hierarchical, Target::Multilevel,
                    Target::DistributedSerial, Target::DistributedThreaded,

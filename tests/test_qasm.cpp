@@ -60,15 +60,15 @@ rz(pi/2) q[2];
   EXPECT_EQ(c.gate(0).kind, GateKind::H);
   EXPECT_EQ(c.gate(1).kind, GateKind::CX);
   EXPECT_EQ(c.gate(2).kind, GateKind::RZ);
-  EXPECT_NEAR(c.gate(2).params[0], M_PI / 2, 1e-12);
+  EXPECT_NEAR(c.gate(2).params[0].value(), M_PI / 2, 1e-12);
 }
 
 TEST(Parser, ExpressionEvaluation) {
   const Circuit c = parse(
       "qreg q[1]; rz(-pi/4 + 2*0.5) q[0]; ry(cos(0)) q[0]; rx(2^3) q[0];");
-  EXPECT_NEAR(c.gate(0).params[0], -M_PI / 4 + 1.0, 1e-12);
-  EXPECT_NEAR(c.gate(1).params[0], 1.0, 1e-12);
-  EXPECT_NEAR(c.gate(2).params[0], 8.0, 1e-12);
+  EXPECT_NEAR(c.gate(0).params[0].value(), -M_PI / 4 + 1.0, 1e-12);
+  EXPECT_NEAR(c.gate(1).params[0].value(), 1.0, 1e-12);
+  EXPECT_NEAR(c.gate(2).params[0].value(), 8.0, 1e-12);
 }
 
 TEST(Parser, RegisterBroadcast) {
@@ -102,7 +102,7 @@ gate rot(t) a { rz(t/2) a; rz(t/2) a; }
 rot(pi) q[0];
 )");
   ASSERT_EQ(c.num_gates(), 2u);
-  EXPECT_NEAR(c.gate(0).params[0], M_PI / 2, 1e-12);
+  EXPECT_NEAR(c.gate(0).params[0].value(), M_PI / 2, 1e-12);
 }
 
 TEST(Parser, NestedCustomGates) {

@@ -87,7 +87,7 @@ TEST(QasmWriter, HighPrecisionAngles) {
   Circuit c(1);
   c.add(Gate::rz(0, 0.12345678901234567));
   const Circuit back = parse(write(c));
-  EXPECT_NEAR(back.gate(0).params[0], 0.12345678901234567, 1e-15);
+  EXPECT_NEAR(back.gate(0).params[0].value(), 0.12345678901234567, 1e-15);
 }
 
 TEST(QasmParser, WhitespaceAndCommentsRobust) {
