@@ -1,0 +1,122 @@
+// Noise-trajectory throughput: how fast one compiled plan serves
+// Monte-Carlo trajectories, and what compile-once buys over the naive
+// recompile-per-trajectory loop. Both arms run the *same* trajectory
+// seeds, so the simulated physics (and the sampled Pauli insertions) are
+// identical — only where compilation happens differs. A second section
+// reports aggregate statistics from execute_trajectories (the fan-out
+// path) on single-node and distributed targets.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/timer.hpp"
+#include "noise/trajectory.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hisim;
+  const auto args = bench::parse_args(argc, argv);
+  const unsigned n = static_cast<unsigned>(
+      std::max(8, 12 + args.qubits_delta));
+  const std::size_t trajectories = args.quick ? 32 : 256;
+  const double p = 0.01;
+
+  const Circuit c = circuits::qaoa(n, 2, args.seed);
+  noise::NoiseModel model;
+  model.after_all_gates(noise::Channel::depolarizing(p));
+  model.readout(noise::ReadoutError{0.01, 0.01});
+
+  Options opt;
+  opt.target = Target::Hierarchical;
+  opt.strategy = partition::Strategy::DagP;
+  opt.limit = n - 2;
+  opt.seed = args.seed;
+  opt.noise = model;
+
+  ExecOptions x;
+  x.want_state = false;
+
+  std::printf("== Noise-trajectory throughput (qaoa %u qubits, "
+              "depolarizing p=%.3g, %zu trajectories) ==\n\n",
+              n, p, trajectories);
+
+  // Arm 1: compile once, every trajectory a pure execute.
+  Timer shared_timer;
+  const ExecutionPlan plan = Engine::compile(c, opt);
+  for (std::size_t t = 0; t < trajectories; ++t)
+    (void)plan.execute_trajectory(noise::trajectory_seed(args.seed, t), x);
+  const double shared_s = shared_timer.seconds();
+
+  // Arm 2: what a noise study costs without reserved slots — rebuild and
+  // recompile the instrumented plan for every trajectory.
+  Timer recompile_timer;
+  for (std::size_t t = 0; t < trajectories; ++t)
+    (void)Engine::compile(c, opt).execute_trajectory(
+        noise::trajectory_seed(args.seed, t), x);
+  const double recompile_s = recompile_timer.seconds();
+
+  bench::print_row({"mode", "traj", "total(ms)", "ms/traj", "traj/s"},
+                   {24, 6, 10, 9, 9});
+  bench::print_row(
+      {"shared-plan", std::to_string(trajectories),
+       bench::fmt(shared_s * 1e3, 1),
+       bench::fmt(shared_s * 1e3 / trajectories, 3),
+       bench::fmt(trajectories / shared_s, 1)},
+      {24, 6, 10, 9, 9});
+  bench::print_row(
+      {"recompile-per-trajectory", std::to_string(trajectories),
+       bench::fmt(recompile_s * 1e3, 1),
+       bench::fmt(recompile_s * 1e3 / trajectories, 3),
+       bench::fmt(trajectories / recompile_s, 1)},
+      {24, 6, 10, 9, 9});
+  std::printf("\namortization: shared plan is %.2fx the recompile arm's "
+              "throughput\n\n",
+              shared_s > 0 ? recompile_s / shared_s : 0.0);
+
+  // Fan-out path: execute_trajectories over the worker pool, with an
+  // observable and pooled shots, on hierarchical and distributed targets.
+  TrajectoryOptions topt;
+  topt.exec.shots = 16;
+  topt.exec.observables.push_back(sv::PauliString::parse("Z0*Z1"));
+  topt.seed = args.seed;
+
+  std::printf("== execute_trajectories fan-out ==\n\n");
+  bench::print_row({"target", "traj", "total(ms)", "traj/s", "<Z0Z1>",
+                    "stderr"},
+                   {22, 6, 10, 9, 8, 8});
+  std::vector<std::pair<Target, unsigned>> targets = {
+      {Target::Hierarchical, 0}};
+  if (!args.process_qubits.empty())
+    targets.emplace_back(target_for_backend(args.backend),
+                         std::min(args.process_qubits.front(), n - 2));
+  double fan_s = 0.0;
+  for (const auto& [target, pq] : targets) {
+    Options o = opt;
+    o.target = target;
+    o.process_qubits = pq;
+    if (target_is_distributed(target)) o.limit = 0;
+    const ExecutionPlan tplan = Engine::compile(c, o);
+    const NoisyResult nr = tplan.execute_trajectories(trajectories, topt);
+    if (target == Target::Hierarchical) fan_s = nr.execute_seconds;
+    bench::print_row(
+        {target_name(target), std::to_string(nr.trajectories),
+         bench::fmt(nr.execute_seconds * 1e3, 1),
+         bench::fmt(nr.trajectories / nr.execute_seconds, 1),
+         bench::fmt(nr.observable_means[0], 4),
+         bench::fmt(nr.observable_stderrs[0], 4)},
+        {22, 6, 10, 9, 8, 8});
+    if (args.json) std::printf("%s\n", nr.to_json().c_str());
+  }
+
+  if (args.json) {
+    std::printf("{\n  \"bench\": \"noise_trajectories\",\n"
+                "  \"qubits\": %u,\n  \"trajectories\": %zu,\n"
+                "  \"depolarizing_p\": %.6g,\n"
+                "  \"shared_seconds\": %.6g,\n"
+                "  \"recompile_seconds\": %.6g,\n"
+                "  \"fanout_seconds\": %.6g,\n  \"speedup\": %.6g\n}\n",
+                n, trajectories, p, shared_s, recompile_s, fan_s,
+                shared_s > 0 ? recompile_s / shared_s : 0.0);
+  }
+  return 0;
+}

@@ -9,6 +9,19 @@
 namespace hisim {
 
 void Circuit::add(Gate g) {
+  validate_gate(g);
+  gates_.push_back(std::move(g));
+}
+
+void Circuit::set_gate(std::size_t i, Gate g) {
+  HISIM_CHECK_MSG(i < gates_.size(),
+                  "set_gate index " << i << " out of range ("
+                                    << gates_.size() << " gates)");
+  validate_gate(g);
+  gates_[i] = std::move(g);
+}
+
+void Circuit::validate_gate(const Gate& g) const {
   for (Qubit q : g.qubits)
     HISIM_CHECK_MSG(q < num_qubits_, "gate qubit q[" << q << "] out of range ("
                                                      << num_qubits_
@@ -25,7 +38,6 @@ void Circuit::add(Gate g) {
                         << "' is not registered on this circuit (create "
                            "handles with this circuit's param())");
   }
-  gates_.push_back(std::move(g));
 }
 
 void Circuit::append(const Circuit& other) {

@@ -36,6 +36,12 @@ class Circuit {
   /// Appends a gate; validates that its qubits are in range.
   void add(Gate g);
 
+  /// Replaces gate `i` in place (same validation as add()). Used by the
+  /// noise-trajectory executor to substitute sampled operators into
+  /// reserved NoiseSlot gates — gate count and order are preserved, so
+  /// partition/inner gate indices into this circuit stay valid.
+  void set_gate(std::size_t i, Gate g);
+
   /// Appends all gates of `other` (qubit counts must match). Parameters of
   /// `other` are merged by name: same-named parameters unify, new names
   /// are registered here and the appended gates' expressions re-indexed.
@@ -87,6 +93,8 @@ class Circuit {
   }
 
  private:
+  void validate_gate(const Gate& g) const;
+
   unsigned num_qubits_ = 0;
   std::string name_ = "circuit";
   std::vector<Gate> gates_;

@@ -90,11 +90,14 @@ Circuit fuse(const Circuit& c, const FusionOptions& opt) {
       out.add(g);
       continue;
     }
-    if (g.is_parametric()) {
+    if (g.is_parametric() || g.kind == GateKind::NoiseSlot) {
       // A symbolic gate has no materializable unitary at fusion time; it
       // breaks the current run and passes through for bind-at-execute
       // materialization. Fusing it into a dense Unitary here would bake in
       // angle values and defeat the one-plan/many-bindings contract.
+      // A reserved noise slot likewise passes through intact: fusing its
+      // (currently identity) matrix into a neighbour would erase the
+      // insertion point trajectories substitute sampled operators into.
       flush_run(out, c, run, support);
       run.clear();
       support.clear();

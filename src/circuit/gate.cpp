@@ -20,7 +20,7 @@ Matrix m2(cplx a, cplx b, cplx c, cplx d) {
 Matrix base2(GateKind kind, const std::vector<double>& p) {
   const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
   switch (kind) {
-    case GateKind::I: return Matrix::identity(2);
+    case GateKind::I: case GateKind::NoiseSlot: return Matrix::identity(2);
     case GateKind::X: case GateKind::CX: case GateKind::CCX:
     case GateKind::MCX:
       return m2(0, 1, 1, 0);
@@ -92,6 +92,7 @@ unsigned gate_param_count(GateKind kind) {
     case GateKind::P: case GateKind::CRX: case GateKind::CRY:
     case GateKind::CRZ: case GateKind::CP: case GateKind::RZZ:
     case GateKind::RXX:
+    case GateKind::NoiseSlot:  // the slot id rides in params[0]
       return 1;
     case GateKind::U2: return 2;
     case GateKind::U3: case GateKind::CU3: return 3;
@@ -133,6 +134,7 @@ std::string gate_name(GateKind kind) {
     case GateKind::CSWAP: return "cswap";
     case GateKind::MCX: return "mcx";
     case GateKind::Unitary: return "unitary";
+    case GateKind::NoiseSlot: return "noise";
   }
   return "?";
 }
@@ -161,6 +163,7 @@ bool Gate::is_diagonal() const {
     case GateKind::T: case GateKind::Tdg: case GateKind::RZ:
     case GateKind::P: case GateKind::CZ: case GateKind::CRZ:
     case GateKind::CP: case GateKind::RZZ:
+    case GateKind::NoiseSlot:  // identity until a trajectory fills it
       return true;
     default:
       return false;
@@ -257,13 +260,31 @@ Gate Gate::mcx(std::vector<Qubit> controls_then_target) {
 }
 
 Gate Gate::unitary(std::vector<Qubit> qubits, Matrix u) {
-  const std::size_t n = std::size_t{1} << qubits.size();
-  HISIM_CHECK_MSG(u.rows() == n && u.cols() == n,
-                  "unitary dim mismatch with qubit count");
   HISIM_CHECK_MSG(u.is_unitary(1e-9), "matrix is not unitary");
+  return kraus(std::move(qubits), std::move(u));
+}
+
+Gate Gate::kraus(std::vector<Qubit> qubits, Matrix k) {
+  const std::size_t n = std::size_t{1} << qubits.size();
+  HISIM_CHECK_MSG(k.rows() == n && k.cols() == n,
+                  "operator dim mismatch with qubit count");
   Gate g = make(GateKind::Unitary, std::move(qubits), {});
-  g.custom = std::move(u);
+  g.custom = std::move(k);
   return g;
+}
+
+Gate Gate::noise_slot(Qubit q, unsigned slot) {
+  // The slot id rides as a concrete ParamExpr: it survives Circuit::bound
+  // and lower() untouched (both preserve concrete params), so slots stay
+  // identifiable by content no matter how gate indices shift.
+  return make(GateKind::NoiseSlot, {q},
+              {ParamExpr(static_cast<double>(slot))});
+}
+
+unsigned Gate::noise_slot_id() const {
+  HISIM_CHECK_MSG(kind == GateKind::NoiseSlot,
+                  "noise_slot_id() on " << gate_name(kind));
+  return static_cast<unsigned>(params.at(0).value());
 }
 
 Gate Gate::make(GateKind kind, std::vector<Qubit> qs,

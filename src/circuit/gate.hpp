@@ -29,6 +29,9 @@ enum class GateKind {
   MCX,
   // raw unitary on qubits.size() qubits
   Unitary,
+  // reserved noise-insertion point (identity until a trajectory samples a
+  // concrete operator into it; see src/noise/). Carries its slot id.
+  NoiseSlot,
 };
 
 /// Number of parameters each kind takes (Unitary carries a matrix instead).
@@ -153,6 +156,17 @@ struct Gate {
   }
   static Gate mcx(std::vector<Qubit> controls_then_target);
   static Gate unitary(std::vector<Qubit> qubits, Matrix u);
+  /// Like unitary(), but skips the unitarity check: an arbitrary linear
+  /// operator (kind == Unitary). Used for stochastic Kraus-unraveling
+  /// operators (K/sqrt(q) is generally non-unitary) and for internal
+  /// matrix restrictions; the kernels apply any matrix exactly.
+  static Gate kraus(std::vector<Qubit> qubits, Matrix k);
+  /// Reserved noise-insertion point on `q` (see src/noise/trajectory.hpp):
+  /// applies as an exact identity until a trajectory substitutes its
+  /// sampled operator. `slot` is the id sample_ops() indexes by.
+  static Gate noise_slot(Qubit q, unsigned slot);
+  /// The slot id of a NoiseSlot gate (throws for any other kind).
+  unsigned noise_slot_id() const;
 
  private:
   static Gate make(GateKind kind, std::vector<Qubit> qs,

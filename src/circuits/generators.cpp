@@ -115,6 +115,20 @@ Circuit qaoa(unsigned n, unsigned rounds, std::uint64_t seed) {
   return inst.circuit.bound(binding);
 }
 
+Circuit noise_calibration(unsigned n, unsigned reps) {
+  HISIM_CHECK(n >= 1 && reps >= 1);
+  Circuit c(n, "noisecal");
+  for (unsigned r = 0; r < reps; ++r) {
+    // X-X echo: net identity, but each X is a real gate noise attaches
+    // to; the trailing id gate is a pure idle slot (zero ideal work —
+    // the kernels skip it — but a noise-insertion point like any gate).
+    for (Qubit q = 0; q < n; ++q) c.add(Gate::x(q));
+    for (Qubit q = 0; q < n; ++q) c.add(Gate::x(q));
+    for (Qubit q = 0; q < n; ++q) c.add(Gate::i(q));
+  }
+  return c;
+}
+
 Circuit cc(unsigned n, std::uint64_t coins) {
   HISIM_CHECK(n >= 3);
   Circuit c(n, "cc");

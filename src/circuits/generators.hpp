@@ -43,6 +43,15 @@ struct QaoaInstance {
 QaoaInstance qaoa_instance(unsigned n, unsigned rounds = 8,
                            std::uint64_t seed = 7);
 
+/// Noise-calibration benchmark ("noisecal" in the CLI): `reps`
+/// repetitions of an X-X echo followed by an explicit idle (id) gate on
+/// every qubit. The ideal circuit is the identity — the final state is
+/// |0...0> exactly — so under a noise model every deviation is noise:
+/// at small per-gate error p the error per qubit grows ~linearly with
+/// reps (3 noise slots per qubit per rep under an after-every-gate
+/// channel), the standard repeated-gate/idle calibration curve.
+Circuit noise_calibration(unsigned n, unsigned reps = 8);
+
 /// Counterfeit-coin finding: superposed weighings of a marked coin subset
 /// against an oracle ancilla (qubit n-1).
 Circuit cc(unsigned n, std::uint64_t coins = 0x5A5A5A5Aull);

@@ -81,6 +81,8 @@ DistPlan compile_plan(const Circuit& c, const DistOptions& opt,
       for (Qubit& q : g.qubits)
         q = static_cast<Qubit>(step.layout.slot_of(q));
       step.parametric = step.parametric || g.is_parametric();
+      if (g.kind == GateKind::NoiseSlot)
+        step.noise_slots.emplace_back(local.num_gates(), g.noise_slot_id());
       local.add(std::move(g));
     }
     step.local = std::move(local);
@@ -105,7 +107,8 @@ DistPlan compile_plan(const Circuit& c, const DistOptions& opt,
 
 DistRunReport execute_plan(const DistPlan& plan, DistState& state,
                            const NetworkModel& net, CommBackend* backend_ptr,
-                           std::span<const double> param_values) {
+                           std::span<const double> param_values,
+                           std::span<const Gate> noise_ops) {
   const unsigned n = plan.num_qubits;
   const unsigned p = plan.process_qubits;
   HISIM_CHECK_MSG(state.num_qubits() == n && state.num_ranks() == (1u << p),
@@ -135,15 +138,27 @@ DistRunReport execute_plan(const DistPlan& plan, DistState& state,
     // backend — its movement already happened).
     const double comm_begin = wall.seconds();
 
-    // Materialize a parametric step against the binding context while the
-    // exchange is (possibly) still in flight: only the angle values are
-    // substituted — the layout, slot remapping, and inner partitioning
-    // above are the plan's precomputed structure. Gate count and order are
-    // preserved, so step.inner's gate indices stay valid.
+    // Materialize a parametric or noisy step while the exchange is
+    // (possibly) still in flight: only the angle values and the
+    // trajectory's sampled slot operators are substituted — the layout,
+    // slot remapping, and inner partitioning above are the plan's
+    // precomputed structure. Gate count and order are preserved, so
+    // step.inner's gate indices stay valid.
     Circuit bound_storage;
     const Circuit* local_circuit = &step.local;
     if (step.parametric) {
       bound_storage = step.local.bound(param_values);
+      local_circuit = &bound_storage;
+    }
+    if (!noise_ops.empty() && !step.noise_slots.empty()) {
+      if (local_circuit != &bound_storage) bound_storage = step.local;
+      for (const auto& [gi, slot] : step.noise_slots) {
+        HISIM_CHECK_MSG(slot < noise_ops.size(),
+                        "noise slot " << slot << " has no sampled operator");
+        Gate op = noise_ops[slot];
+        op.qubits = bound_storage.gate(gi).qubits;
+        bound_storage.set_gate(gi, std::move(op));
+      }
       local_circuit = &bound_storage;
     }
     const Circuit& local = *local_circuit;

@@ -122,6 +122,11 @@ struct DistPlan {
     /// Precomputed: any gate of `local` carries a symbolic parameter, so
     /// executing this step requires per-binding materialization.
     bool parametric = false;
+    /// Reserved noise slots of `local`: (gate index, slot id) pairs, found
+    /// once at compile. Sampled trajectory operators are single-qubit and
+    /// substitute onto the slot gate's already-local position, so noisy
+    /// execution reuses the exchange schedule untouched.
+    std::vector<std::pair<std::size_t, unsigned>> noise_slots;
   };
   std::vector<Step> steps;
 
@@ -147,10 +152,20 @@ DistPlan compile_plan(const Circuit& c, const DistOptions& opt,
 /// exchange schedule, layouts, and inner partitions are reused as-is.
 /// Executing a parametric step with no covering value throws hisim::Error
 /// naming the parameter.
+///
+/// `noise_ops` is one trajectory's sampled operator per noise slot
+/// (indexed by slot id, each on canonical qubit 0; see
+/// noise/trajectory.hpp). Steps with reserved slots substitute their
+/// operators during the same per-step materialization — like bindings,
+/// this overlaps the exchange, and since every sampled operator is
+/// single-qubit on a slot the plan already made local, the exchange
+/// schedule is byte-identical to the ideal run. Empty = ideal execution
+/// (slots apply as identities).
 DistRunReport execute_plan(const DistPlan& plan, DistState& state,
                            const NetworkModel& net,
                            CommBackend* backend = nullptr,
-                           std::span<const double> param_values = {});
+                           std::span<const double> param_values = {},
+                           std::span<const Gate> noise_ops = {});
 
 /// The paper's distributed hierarchical simulator (Sec. V), executed on
 /// simulated ranks: partition the circuit so every part fits in one

@@ -114,7 +114,10 @@ IqsRunReport IqsBaselineSimulator::run(const Circuit& c, DistState& state,
           const cplx phase = sub(0, 0);
           for (Index i = 0; i < ldim; ++i) state.local(r)[i] *= phase;
         } else {
-          sv::apply_gate(state.local(r), Gate::unitary(local_ops, sub));
+          // kraus(): restrictions of trajectory-sampled Kraus operators
+          // are not unitary; for unitary gates this is the same matrix
+          // the unitary() path would have carried.
+          sv::apply_gate(state.local(r), Gate::kraus(local_ops, sub));
         }
       });
       compute.stop();
@@ -175,7 +178,7 @@ IqsRunReport IqsBaselineSimulator::run(const Circuit& c, DistState& state,
         const sv::StateVector& shard = state.local(members[gb]);
         for (Index i = 0; i < ldim; ++i) combined[(gb << l) | i] = shard[i];
       }
-      sv::apply_gate(combined, Gate::unitary(ops, sub));
+      sv::apply_gate(combined, Gate::kraus(ops, sub));
       for (Index gb = 0; gb < groups; ++gb) {
         sv::StateVector& shard = state.local(members[gb]);
         for (Index i = 0; i < ldim; ++i) shard[i] = combined[(gb << l) | i];

@@ -61,6 +61,29 @@ void parse_bind(Flags& f, const std::string& spec) {
   f.bindings[name] = parse_double("--bind " + name, spec.substr(eq + 1));
 }
 
+/// `--noise kind=value`: one noise channel (or readout confusion).
+void parse_noise(Flags& f, const std::string& spec) {
+  const std::size_t eq = spec.find('=');
+  HISIM_CHECK_MSG(eq != std::string::npos && eq > 0,
+                  "--noise expects kind=value, got '" << spec << "'");
+  const std::string kind = spec.substr(0, eq);
+  HISIM_CHECK_MSG(kind == "depolarizing" || kind == "bitflip" ||
+                      kind == "phaseflip" || kind == "damping" ||
+                      kind == "readout",
+                  "unknown noise kind '"
+                      << kind
+                      << "' (expected depolarizing, bitflip, phaseflip, "
+                         "damping, readout)");
+  // Same policy as --bind/--sweep: a repeated kind would silently double
+  // the channel strength (or last-win for readout) — reject it.
+  for (const auto& [prev, value] : f.noise)
+    HISIM_CHECK_MSG(prev != kind,
+                    "--noise " << kind << " given twice (each kind takes "
+                                          "exactly one probability)");
+  f.noise.emplace_back(kind,
+                       parse_double("--noise " + kind, spec.substr(eq + 1)));
+}
+
 /// `--sweep name=start:stop:steps`: one grid axis.
 void parse_sweep(Flags& f, const std::string& spec) {
   const std::size_t eq = spec.find('=');
@@ -117,6 +140,21 @@ Flags parse_flags(const std::vector<std::string>& args) {
       parse_sweep(f, v);
     } else if (const char* v = two_token("--sweep")) {
       parse_sweep(f, v);
+    } else if (const char* v = val("--noise=")) {
+      parse_noise(f, v);
+    } else if (const char* v = two_token("--noise")) {
+      parse_noise(f, v);
+    } else if (const char* v = val("--observable=")) {
+      f.observables.emplace_back(v);
+    } else if (const char* v = two_token("--observable")) {
+      f.observables.emplace_back(v);
+    } else if (const char* v = val("--trajectories=")) {
+      f.trajectories = static_cast<std::size_t>(parse_uint(
+          "--trajectories", v, std::numeric_limits<std::size_t>::max()));
+      HISIM_CHECK_MSG(f.trajectories >= 1, "--trajectories needs >= 1");
+    } else if (const char* v = val("--noise-seed=")) {
+      f.noise_seed = parse_uint(
+          "--noise-seed", v, std::numeric_limits<std::uint64_t>::max());
     } else if (const char* v = val("--qubits=")) {
       f.qubits = static_cast<unsigned>(parse_uint("--qubits", v));
     } else if (const char* v = val("--limit=")) {
@@ -167,7 +205,36 @@ Flags parse_flags(const std::vector<std::string>& args) {
                   "--shots has no effect with --sweep (per-point output "
                   "carries no samples); run the chosen point separately "
                   "with --bind");
+  // Noise and trajectories come as a pair: a model without a trajectory
+  // count would silently run the ideal circuit, and a trajectory count
+  // without a model has nothing to sample.
+  HISIM_CHECK_MSG(f.noise.empty() || f.trajectories > 0,
+                  "--noise requires --trajectories=N (stochastic "
+                  "trajectory runs sample the channels)");
+  HISIM_CHECK_MSG(f.trajectories == 0 || !f.noise.empty(),
+                  "--trajectories requires at least one --noise channel");
+  HISIM_CHECK_MSG(f.trajectories == 0 || f.sweeps.empty(),
+                  "--trajectories cannot be combined with --sweep (pin "
+                  "the parameters with --bind and run one noisy point)");
   return f;
+}
+
+noise::NoiseModel noise_model(const Flags& f) {
+  noise::NoiseModel model;
+  for (const auto& [kind, value] : f.noise) {
+    if (kind == "depolarizing") {
+      model.after_all_gates(noise::Channel::depolarizing(value));
+    } else if (kind == "bitflip") {
+      model.after_all_gates(noise::Channel::bit_flip(value));
+    } else if (kind == "phaseflip") {
+      model.after_all_gates(noise::Channel::phase_flip(value));
+    } else if (kind == "damping") {
+      model.after_all_gates(noise::Channel::amplitude_damping(value));
+    } else {  // "readout" — the parser admits no other spelling
+      model.readout(noise::ReadoutError{value, value});
+    }
+  }
+  return model;
 }
 
 std::vector<ParamBinding> sweep_points(const Flags& f) {
@@ -250,6 +317,7 @@ Options engine_options(const Flags& f) {
   o.limit = f.limit;
   o.level2_limit = f.level2;
   o.process_qubits = f.ranks_p;
+  o.noise = noise_model(f);
   return o;
 }
 

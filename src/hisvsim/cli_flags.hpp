@@ -5,6 +5,7 @@
 
 #include "dist/backend.hpp"
 #include "hisvsim/engine.hpp"
+#include "noise/noise_model.hpp"
 #include "partition/partition.hpp"
 
 /// Flag parsing for the `hisim` CLI, factored into the library so it is
@@ -45,6 +46,19 @@ struct Flags {
   /// executes their cartesian product (see sweep_points). A name may not
   /// be both bound and swept, nor repeated.
   std::vector<SweepSpec> sweeps;
+  /// Noise channels from repeated --noise kind=value flags, in flag
+  /// order. Kinds: depolarizing | bitflip | phaseflip | damping (channel
+  /// after every gate on each touched qubit) and readout (confusion
+  /// probability applied to sampled shots, p01 = p10 = value). Requires
+  /// --trajectories; the value must be a probability in [0, 1].
+  std::vector<std::pair<std::string, double>> noise;
+  /// Number of stochastic trajectories (--trajectories=N). 0 = ideal run.
+  std::size_t trajectories = 0;
+  /// Base of the per-trajectory seed stream (--noise-seed=N).
+  std::uint64_t noise_seed = 0x7261;
+  /// Pauli-string observables from repeated --observable flags (parsed by
+  /// sv::PauliString::parse at run time).
+  std::vector<std::string> observables;
 };
 
 /// Parses `args` (flags only, no program/command words). Throws
@@ -72,7 +86,13 @@ std::vector<ParamBinding> sweep_points(const Flags& f);
 /// flags it needs (e.g. a distributed target without --ranks).
 Target effective_target(const Flags& f);
 
-/// Engine options equivalent to `f` for a `hisim run` invocation.
+/// The noise model described by the --noise flags (empty when none).
+/// Throws hisim::Error on a probability outside [0, 1] — same
+/// reject-bad-input policy as the rest of the parser.
+noise::NoiseModel noise_model(const Flags& f);
+
+/// Engine options equivalent to `f` for a `hisim run` invocation
+/// (includes the --noise model, so noisy plans compile their slots).
 Options engine_options(const Flags& f);
 
 }  // namespace hisim::cli

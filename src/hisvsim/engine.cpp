@@ -1,6 +1,7 @@
 #include "hisvsim/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <exception>
 #include <mutex>
@@ -13,6 +14,7 @@
 #include "dag/circuit_dag.hpp"
 #include "dist/backend.hpp"
 #include "dist/iqs_baseline.hpp"
+#include "noise/trajectory.hpp"
 #include "partition/multilevel.hpp"
 #include "sv/hierarchical.hpp"
 #include "sv/simulator.hpp"
@@ -63,6 +65,10 @@ struct PlanImpl {
   /// resolves ExecOptions::bindings against it and materializes gate
   /// matrices per binding — the plan structure never changes.
   std::vector<std::string> param_names;
+  /// Compile-side noise artifact (channel table, reserved slots, readout
+  /// confusion). Empty unless the plan was compiled with Options::noise;
+  /// the instrumented circuit's NoiseSlot gates reference these slots.
+  noise::CompiledNoise noise;
   unsigned effective_limit = 0;
   unsigned effective_level2 = 0;
   double compile_seconds = 0.0;
@@ -136,6 +142,51 @@ void json_str(std::ostringstream& os, bool& first, const char* key,
   json_quoted(os, v);
 }
 
+/// Emits a ParamBinding as a "params" object. 17 significant digits: the
+/// printed angle re-binds to the exact double that executed (same
+/// round-trip policy as qasm/writer.cpp).
+void json_params(std::ostringstream& os, bool& first,
+                 const ParamBinding& params) {
+  if (params.empty()) return;
+  append_kv(os, first, "params");
+  os << '{';
+  bool pfirst = true;
+  for (const auto& [name, value] : params) {
+    if (!pfirst) os << ", ";
+    pfirst = false;
+    json_quoted(os, name);
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    os << ": " << buf;
+  }
+  os << '}';
+}
+
+/// Fans fn(i) over the worker pool, one index per chunk. Any throw
+/// (allocation failure, internal check) is captured and rethrown on the
+/// calling thread — an exception must never escape into the pool's
+/// worker loop. Shared by execute_sweep and execute_trajectories.
+void run_indexed_on_pool(std::size_t count,
+                         const std::function<void(std::size_t)>& fn) {
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  parallel::for_range(
+      0, count,
+      [&](Index lo, Index hi) {
+        for (Index i = lo; i < hi; ++i) {
+          try {
+            fn(static_cast<std::size_t>(i));
+          } catch (...) {
+            std::lock_guard lk(err_mu);
+            if (!first_error) first_error = std::current_exception();
+            return;
+          }
+        }
+      },
+      /*grain=*/1);
+  if (first_error) std::rethrow_exception(first_error);
+}
+
 }  // namespace
 
 double Result::total_seconds() const {
@@ -191,22 +242,7 @@ std::string Result::to_json() const {
     json_num(os, first, "flops", flops);
   }
   json_num(os, first, "total_seconds", total_seconds());
-  if (!params.empty()) {
-    append_kv(os, first, "params");
-    os << '{';
-    bool pfirst = true;
-    for (const auto& [name, value] : params) {
-      if (!pfirst) os << ", ";
-      pfirst = false;
-      json_quoted(os, name);
-      // 17 significant digits: the printed angle re-binds to the exact
-      // double that executed (same round-trip policy as qasm/writer.cpp).
-      char buf[64];
-      std::snprintf(buf, sizeof buf, "%.17g", value);
-      os << ": " << buf;
-    }
-    os << '}';
-  }
+  json_params(os, first, params);
   json_int(os, first, "shots", samples.size());
   if (!observables.empty()) {
     append_kv(os, first, "observables");
@@ -258,6 +294,14 @@ const std::vector<std::string>& ExecutionPlan::param_names() const {
   HISIM_CHECK_MSG(impl_, "empty ExecutionPlan");
   return impl_->param_names;
 }
+bool ExecutionPlan::noisy() const {
+  HISIM_CHECK_MSG(impl_, "empty ExecutionPlan");
+  return !impl_->noise.empty();
+}
+std::size_t ExecutionPlan::num_noise_slots() const {
+  HISIM_CHECK_MSG(impl_, "empty ExecutionPlan");
+  return impl_->noise.slots.size();
+}
 
 ExecutionPlan Engine::compile(const Circuit& c, const Options& opt) {
   return Engine(opt).compile(c);
@@ -267,14 +311,27 @@ ExecutionPlan Engine::compile(const Circuit& c) const {
   Timer compile_timer;
   auto impl = std::make_shared<PlanImpl>();
   impl->opt = opt_;
-  impl->param_names = c.param_names();
+  // Noise instrumentation happens before any structural work: the
+  // reserved slots are ordinary (identity) gates of the circuit every
+  // downstream artifact — DAG, partitioning, lowering, the exchange
+  // schedule — accounts for exactly once. Trajectories later substitute
+  // sampled operators into the slots without touching that structure.
+  Circuit instrumented;
+  const Circuit* source = &c;
+  if (!opt_.noise.empty()) {
+    noise::Instrumented in = noise::instrument(c, opt_.noise);
+    instrumented = std::move(in.circuit);
+    impl->noise = std::move(in.noise);
+    source = &instrumented;
+  }
+  impl->param_names = source->param_names();
   // The distributed targets execute dplan.circuit (the possibly-lowered
   // copy compile_plan makes); storing the input here too would just
   // double the plan's circuit memory.
   if (opt_.target != Target::DistributedSerial &&
       opt_.target != Target::DistributedThreaded)
-    impl->circuit = c;
-  const unsigned n = c.num_qubits();
+    impl->circuit = *source;
+  const unsigned n = source->num_qubits();
 
   switch (opt_.target) {
     case Target::Flat:
@@ -283,7 +340,7 @@ ExecutionPlan Engine::compile(const Circuit& c) const {
 
     case Target::Hierarchical: {
       impl->effective_limit = effective_limit(opt_, n);
-      const dag::CircuitDag dag(c);
+      const dag::CircuitDag dag(*source);
       partition::PartitionOptions po;
       po.strategy = opt_.strategy;
       po.limit = impl->effective_limit;
@@ -300,7 +357,7 @@ ExecutionPlan Engine::compile(const Circuit& c) const {
           opt_.level2_limit == 0
               ? std::max(2u, impl->effective_limit / 2)
               : std::min(opt_.level2_limit, impl->effective_limit);
-      const dag::CircuitDag dag(c);
+      const dag::CircuitDag dag(*source);
       partition::PartitionOptions po;
       po.strategy = opt_.strategy;
       po.limit = impl->effective_limit;
@@ -323,7 +380,7 @@ ExecutionPlan Engine::compile(const Circuit& c) const {
       dopt.part.limit = opt_.limit;  // 0 = clamp to local qubits
       dopt.part.seed = opt_.seed;
       dopt.level2_limit = opt_.level2_limit;
-      impl->dplan = dist::compile_plan(c, dopt);
+      impl->dplan = dist::compile_plan(*source, dopt);
       impl->parts = impl->dplan.num_parts();
       impl->inner_parts = impl->dplan.inner_parts;
       impl->partition_seconds = impl->dplan.partition_seconds;
@@ -363,6 +420,11 @@ void load_initial(dist::DistState& st, const sv::StateVector& init) {
 
 Result ExecutionPlan::execute(const ExecOptions& opts) const {
   HISIM_CHECK_MSG(impl_, "execute() called on an empty ExecutionPlan");
+  return execute_impl(opts, {});
+}
+
+Result ExecutionPlan::execute_impl(const ExecOptions& opts,
+                                   std::span<const Gate> noise_ops) const {
   const PlanImpl& plan = *impl_;
   const Options& opt = plan.opt;
   const unsigned n = plan.executed_circuit().num_qubits();
@@ -375,19 +437,31 @@ Result ExecutionPlan::execute(const ExecOptions& opts) const {
   if (!plan.param_names.empty() || !opts.bindings.empty())
     param_values = resolve_binding(plan.param_names, opts.bindings);
 
-  // Materialize the executed circuit for the targets that apply it whole.
-  // The distributed-serial/-threaded targets instead materialize per step
-  // inside dist::execute_plan, overlapping with the exchange. This is the
-  // only per-binding cost: the plan structure (partitioning, layouts,
-  // exchange schedule) is shared untouched.
-  const bool bind_whole =
-      !plan.param_names.empty() && (opt.target == Target::Flat ||
-                                    opt.target == Target::Hierarchical ||
-                                    opt.target == Target::Multilevel ||
-                                    opt.target == Target::IqsBaseline);
-  const Circuit bound_storage =
-      bind_whole ? plan.executed_circuit().bound(param_values) : Circuit();
-  const Circuit& c = bind_whole ? bound_storage : plan.executed_circuit();
+  // Materialize the executed circuit for the targets that apply it whole:
+  // bind symbolic angles, then substitute the trajectory's sampled
+  // operators into the reserved noise slots. The distributed-serial/
+  // -threaded targets instead materialize per step inside
+  // dist::execute_plan, overlapping with the exchange. This is the only
+  // per-binding/per-trajectory cost: the plan structure (partitioning,
+  // layouts, exchange schedule) is shared untouched.
+  const bool whole_target =
+      opt.target == Target::Flat || opt.target == Target::Hierarchical ||
+      opt.target == Target::Multilevel || opt.target == Target::IqsBaseline;
+  const bool bind_whole = !plan.param_names.empty() && whole_target;
+  const bool noise_whole =
+      whole_target && !noise_ops.empty() && !plan.noise.slots.empty();
+  Circuit storage;
+  const Circuit* executed = &plan.executed_circuit();
+  if (bind_whole) {
+    storage = executed->bound(param_values);
+    executed = &storage;
+  }
+  if (noise_whole) {
+    if (!bind_whole) storage = *executed;
+    noise::apply_ops(storage, noise_ops);
+    executed = &storage;
+  }
+  const Circuit& c = *executed;
 
   Result r;
   r.params = opts.bindings;
@@ -449,7 +523,8 @@ Result ExecutionPlan::execute(const ExecOptions& opts) const {
     } else {
       const dist::DistRunReport dr =
           dist::execute_plan(plan.dplan, st, opts.net,
-                             backend_for_target(opt.target), param_values);
+                             backend_for_target(opt.target), param_values,
+                             noise_ops);
       r.compute_seconds = dr.compute_seconds;
       r.comm = dr.comm;
       r.part_times = dr.part_times;
@@ -473,7 +548,11 @@ Result ExecutionPlan::execute(const ExecOptions& opts) const {
   }
 
   r.norm = state.norm();
-  if (opts.shots > 0) {
+  // A zero-norm state can only come from a Kraus-unraveling trajectory
+  // whose sampled branch annihilated the state (weight 0): it contributes
+  // nothing to any pooled statistic, so it draws no shots rather than
+  // failing the sampler.
+  if (opts.shots > 0 && r.norm > 0.0) {
     Rng rng(opts.shot_seed);
     r.samples = sv::sample(state, opts.shots, rng);
   }
@@ -509,30 +588,181 @@ std::vector<Result> ExecutionPlan::execute_sweep(
   // Each point is an independent execute() on private state, so the
   // points fan out over the worker pool; for_range regions issued inside
   // execute() run inline (nested-region rule), keeping one pool for the
-  // whole sweep. Any residual throw (allocation failure, internal check)
-  // is captured and rethrown on the calling thread — an exception must
-  // never escape into the pool's worker loop.
+  // whole sweep.
   std::vector<Result> results(points.size());
-  std::mutex err_mu;
-  std::exception_ptr first_error;
-  parallel::for_range(
-      0, points.size(),
-      [&](Index lo, Index hi) {
-        for (Index i = lo; i < hi; ++i) {
-          try {
-            ExecOptions point_opts = opts;
-            point_opts.bindings = points[i];
-            results[i] = execute(point_opts);
-          } catch (...) {
-            std::lock_guard lk(err_mu);
-            if (!first_error) first_error = std::current_exception();
-            return;
-          }
-        }
-      },
-      /*grain=*/1);
-  if (first_error) std::rethrow_exception(first_error);
+  run_indexed_on_pool(points.size(), [&](std::size_t i) {
+    ExecOptions point_opts = opts;
+    point_opts.bindings = points[i];
+    results[i] = execute(point_opts);
+  });
   return results;
+}
+
+Result ExecutionPlan::execute_trajectory(std::uint64_t seed,
+                                         const ExecOptions& opts) const {
+  HISIM_CHECK_MSG(impl_,
+                  "execute_trajectory() called on an empty ExecutionPlan");
+  // Replaying a recorded seed against an un-noisy plan would silently
+  // return an ideal result — the plan the seed came from was compiled
+  // with Options::noise, so this one must be too.
+  HISIM_CHECK_MSG(!impl_->noise.empty(),
+                  "execute_trajectory() requires a plan compiled with "
+                  "Options::noise (this plan is ideal)");
+  // The whole trajectory is a pure function of (plan, opts, seed): slot
+  // operators come from the seed's noise stream, shots from its shot
+  // stream, readout flips from its readout stream. Re-running with a
+  // recorded seed therefore replays the trajectory bit-identically.
+  const std::vector<Gate> ops = noise::sample_ops(impl_->noise, seed);
+  ExecOptions x = opts;
+  x.shot_seed = noise::shot_seed(seed);
+  Result r = execute_impl(x, ops);
+  noise::apply_readout(r.samples, impl_->noise, seed);
+  return r;
+}
+
+NoisyResult ExecutionPlan::execute_trajectories(
+    std::size_t num, const TrajectoryOptions& opts) const {
+  HISIM_CHECK_MSG(impl_,
+                  "execute_trajectories() called on an empty ExecutionPlan");
+  const PlanImpl& plan = *impl_;
+  HISIM_CHECK_MSG(!plan.noise.empty(),
+                  "execute_trajectories() requires a plan compiled with "
+                  "Options::noise (this plan is ideal)");
+  HISIM_CHECK_MSG(num > 0, "execute_trajectories() needs >= 1 trajectory");
+
+  // Shared preconditions fail on the calling thread, never on a worker
+  // (same policy as execute_sweep): binding coverage and the initial
+  // state's shape are identical for every trajectory.
+  if (!plan.param_names.empty() || !opts.exec.bindings.empty())
+    (void)resolve_binding(plan.param_names, opts.exec.bindings);
+  if (opts.exec.initial_state) {
+    const unsigned n = plan.executed_circuit().num_qubits();
+    HISIM_CHECK_MSG(opts.exec.initial_state->num_qubits() == n,
+                    "initial state has "
+                        << opts.exec.initial_state->num_qubits()
+                        << " qubits, plan expects " << n);
+  }
+
+  const std::size_t k = opts.exec.observables.size();
+  NoisyResult nr;
+  nr.circuit = plan.executed_circuit().name();
+  nr.qubits = plan.executed_circuit().num_qubits();
+  nr.target = plan.opt.target;
+  nr.trajectories = num;
+  nr.noise_slots = plan.noise.slots.size();
+  nr.shots_per_trajectory = opts.exec.shots;
+  nr.params = opts.exec.bindings;
+  nr.noise_seed = opts.seed;
+  nr.compile_seconds = plan.compile_seconds;
+  nr.seeds.resize(num);
+  nr.weights.resize(num);
+  std::vector<double> obs(num * k);
+  std::vector<std::vector<Index>> samples(opts.exec.shots > 0 ? num : 0);
+
+  // Trajectories are independent executes on private state, so they fan
+  // out over the worker pool exactly like sweep points; nested for_range
+  // regions inside execute run inline. Results land in per-trajectory
+  // slots and are reduced serially below, so the aggregate is
+  // deterministic regardless of worker scheduling.
+  Timer wall;
+  run_indexed_on_pool(num, [&](std::size_t t) {
+    const std::uint64_t seed = noise::trajectory_seed(opts.seed, t);
+    ExecOptions x = opts.exec;
+    x.want_state = false;
+    Result r = execute_trajectory(seed, x);
+    nr.seeds[t] = seed;
+    nr.weights[t] = r.norm;
+    for (std::size_t j = 0; j < k; ++j) obs[t * k + j] = r.observables[j];
+    if (!samples.empty()) samples[t] = std::move(r.samples);
+  });
+  nr.execute_seconds = wall.seconds();
+
+  // Serial aggregation in trajectory order — fp summation order is fixed.
+  for (double w : nr.weights) nr.total_weight += w;
+  nr.mean_weight = nr.total_weight / static_cast<double>(num);
+  nr.observable_means.assign(k, 0.0);
+  nr.observable_stddevs.assign(k, 0.0);
+  nr.observable_stderrs.assign(k, 0.0);
+  for (std::size_t j = 0; j < k; ++j) {
+    double mean = 0.0;
+    for (std::size_t t = 0; t < num; ++t) mean += obs[t * k + j];
+    mean /= static_cast<double>(num);
+    double var = 0.0;
+    for (std::size_t t = 0; t < num; ++t) {
+      const double d = obs[t * k + j] - mean;
+      var += d * d;
+    }
+    var = num > 1 ? var / static_cast<double>(num - 1) : 0.0;
+    nr.observable_means[j] = mean;
+    nr.observable_stddevs[j] = std::sqrt(var);
+    nr.observable_stderrs[j] = std::sqrt(var / static_cast<double>(num));
+  }
+  for (std::size_t t = 0; t < samples.size(); ++t)
+    for (Index s : samples[t]) nr.counts[s] += nr.weights[t];
+  return nr;
+}
+
+std::vector<std::pair<double, Index>> NoisyResult::top_counts(
+    std::size_t k) const {
+  std::vector<std::pair<double, Index>> top;
+  top.reserve(counts.size());
+  for (const auto& [outcome, w] : counts) top.emplace_back(w, outcome);
+  std::sort(top.rbegin(), top.rend());
+  if (top.size() > k) top.resize(k);
+  return top;
+}
+
+std::string NoisyResult::to_json() const {
+  std::ostringstream os;
+  bool first = true;
+  os << "{\n";
+  json_str(os, first, "circuit", circuit);
+  json_int(os, first, "qubits", qubits);
+  json_str(os, first, "target", target_name(target));
+  json_int(os, first, "trajectories", trajectories);
+  json_int(os, first, "noise_slots", noise_slots);
+  json_int(os, first, "noise_seed", noise_seed);
+  json_int(os, first, "shots_per_trajectory", shots_per_trajectory);
+  json_int(os, first, "shots_total", shots_per_trajectory * trajectories);
+  json_params(os, first, params);
+  json_num(os, first, "total_weight", total_weight);
+  json_num(os, first, "mean_weight", mean_weight);
+  json_num(os, first, "compile_seconds", compile_seconds);
+  json_num(os, first, "execute_wall_seconds", execute_seconds);
+  json_num(os, first, "trajectories_per_second",
+           execute_seconds > 0.0
+               ? static_cast<double>(trajectories) / execute_seconds
+               : 0.0);
+  const auto array = [&](const char* key, const std::vector<double>& xs) {
+    append_kv(os, first, key);
+    os << '[';
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.12g", xs[i]);
+      os << (i ? "," : "") << buf;
+    }
+    os << ']';
+  };
+  if (!observable_means.empty()) {
+    array("observable_means", observable_means);
+    array("observable_stddevs", observable_stddevs);
+    array("observable_stderrs", observable_stderrs);
+  }
+  json_int(os, first, "distinct_outcomes", counts.size());
+  if (!counts.empty()) {
+    // Top outcomes by pooled weight (full histograms scale as 2^n).
+    const std::vector<std::pair<double, Index>> top = top_counts(16);
+    append_kv(os, first, "top_counts");
+    os << '{';
+    for (std::size_t i = 0; i < top.size(); ++i) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.12g", top[i].first);
+      os << (i ? ", " : "") << '"' << top[i].second << "\": " << buf;
+    }
+    os << '}';
+  }
+  os << "\n}";
+  return os.str();
 }
 
 }  // namespace hisim

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <span>
 #include <string>
@@ -9,6 +11,7 @@
 #include "circuit/circuit.hpp"
 #include "dist/dist_state.hpp"
 #include "dist/hisvsim_dist.hpp"
+#include "noise/noise_model.hpp"
 #include "partition/partition.hpp"
 #include "sv/observables.hpp"
 #include "sv/state_vector.hpp"
@@ -81,6 +84,13 @@ struct Options {
   /// (> 0) for the distributed targets, ignored otherwise.
   unsigned process_qubits = 0;
   std::uint64_t seed = 0x5eed;
+  /// Noise model compiled into the plan: identity "noise slots" are
+  /// reserved in the circuit structure after every matching gate, so
+  /// partitioning, lowering, and the exchange schedule account for them
+  /// exactly once. A plain execute() of a noisy plan runs the ideal
+  /// circuit (slots are exact no-ops); stochastic trajectories sample
+  /// concrete operators into the slots via execute_trajectories().
+  noise::NoiseModel noise;
 };
 
 /// Per-execution configuration: everything the plan does *not* depend on.
@@ -172,6 +182,77 @@ struct Result {
   std::string to_json() const;
 };
 
+/// Per-call configuration of a Monte-Carlo trajectory run.
+struct TrajectoryOptions {
+  /// Per-trajectory execution settings: bindings, observables, initial
+  /// state, and network model apply to every trajectory; `shots` draws
+  /// that many measurement shots *per trajectory* (pooled, with readout
+  /// error applied, into NoisyResult::counts). `exec.shot_seed` and
+  /// `exec.want_state` are ignored — each trajectory derives its own
+  /// shot/readout streams from its trajectory seed (replayable), and
+  /// per-trajectory states are never retained (replay one via
+  /// ExecutionPlan::execute_trajectory when the state is needed).
+  ExecOptions exec;
+  /// Root of the per-trajectory seed stream: trajectory t runs under
+  /// noise::trajectory_seed(seed, t), recorded in NoisyResult::seeds.
+  std::uint64_t seed = 0x7261;
+};
+
+/// Aggregated report of one execute_trajectories() run. Observable
+/// statistics use the weighted estimator <psi~|P|psi~> per trajectory
+/// (psi~ unnormalized), whose mean is an unbiased estimate of
+/// Tr(P eps(rho)) under both Pauli and Kraus-unraveled channels; for
+/// purely Pauli models every weight is exactly 1.
+struct NoisyResult {
+  std::string circuit;
+  unsigned qubits = 0;
+  Target target = Target::Hierarchical;
+  std::size_t trajectories = 0;
+  std::size_t noise_slots = 0;        // reserved insertion points per run
+  std::size_t shots_per_trajectory = 0;
+
+  /// Per-trajectory seeds, in trajectory order: feeding seeds[t] to
+  /// execute_trajectory() replays trajectory t bit-identically (state,
+  /// samples, and readout corruption included).
+  std::vector<std::uint64_t> seeds;
+  /// Per-trajectory weights ||psi~||^2 (the ideal run's norm — 1 up to
+  /// fp rounding — for Pauli-only models; E[weight] = 1 for
+  /// trace-preserving Kraus unravelings, with variance that grows with
+  /// the number of non-unitary slots — attach damping channels to
+  /// specific gates/qubits rather than blanket-instrumenting).
+  std::vector<double> weights;
+  double total_weight = 0.0;
+  double mean_weight = 0.0;
+
+  /// One entry per TrajectoryOptions::exec.observables: mean, sample
+  /// standard deviation, and standard error over the trajectories.
+  std::vector<double> observable_means;
+  std::vector<double> observable_stddevs;
+  std::vector<double> observable_stderrs;
+
+  /// Pooled shot histogram: outcome -> weighted count (weight 1 per shot
+  /// for Pauli-only models), readout confusion already applied.
+  std::map<Index, double> counts;
+
+  /// The parameter values every trajectory was bound with and the base
+  /// of the seed stream (TrajectoryOptions::seed) — together with the
+  /// plan's Options these make the report re-runnable, the same
+  /// self-describing convention as Result::params.
+  ParamBinding params;
+  std::uint64_t noise_seed = 0;
+
+  double compile_seconds = 0.0;  // copied from the plan
+  double execute_seconds = 0.0;  // wall clock of the whole trajectory fan-out
+
+  /// The k heaviest pooled outcomes, weight-descending — the one
+  /// definition shared by to_json() and the CLI's text report.
+  std::vector<std::pair<double, Index>> top_counts(std::size_t k) const;
+
+  /// Report fields (not the raw seeds/weights vectors) as a JSON object,
+  /// in the same style as Result::to_json().
+  std::string to_json() const;
+};
+
 namespace detail {
 struct PlanImpl;
 }
@@ -202,7 +283,30 @@ class ExecutionPlan {
   std::vector<Result> execute_sweep(std::span<const ParamBinding> points,
                                     const ExecOptions& opts = {}) const;
 
+  /// Runs `num` stochastic noise trajectories through this plan,
+  /// concurrently over the worker pool, and returns the aggregate.
+  /// Each trajectory samples one concrete operator per reserved noise
+  /// slot from its own seed (noise::trajectory_seed(opts.seed, t)) and
+  /// executes the plan with those operators substituted — structure
+  /// (partitioning, lowering, exchange schedule) is shared across all
+  /// trajectories and the partitioner is never re-invoked. Requires a
+  /// plan compiled with Options::noise (throws otherwise).
+  NoisyResult execute_trajectories(std::size_t num,
+                                   const TrajectoryOptions& opts = {}) const;
+
+  /// Runs the single trajectory identified by `seed` and returns its full
+  /// Result (state included unless opts.want_state is off). Result::norm
+  /// is the trajectory weight; samples carry the readout corruption.
+  /// Bit-identical for a fixed seed — the replay arm of the seeds
+  /// recorded in NoisyResult.
+  Result execute_trajectory(std::uint64_t seed,
+                            const ExecOptions& opts = {}) const;
+
   bool valid() const { return impl_ != nullptr; }
+  /// True when the plan was compiled under a non-empty Options::noise.
+  bool noisy() const;
+  /// Number of reserved noise-insertion points in the compiled circuit.
+  std::size_t num_noise_slots() const;
   /// The symbolic parameters the compiled circuit declares (binding keys
   /// for execute/execute_sweep), in registration order. Empty for
   /// concrete plans.
@@ -222,6 +326,11 @@ class ExecutionPlan {
   friend class Engine;
   explicit ExecutionPlan(std::shared_ptr<const detail::PlanImpl> impl)
       : impl_(std::move(impl)) {}
+  /// execute() with one trajectory's sampled slot operators substituted
+  /// (empty span = ideal execution). The single execution path every
+  /// public entry point funnels into.
+  Result execute_impl(const ExecOptions& opts,
+                      std::span<const Gate> noise_ops) const;
   std::shared_ptr<const detail::PlanImpl> impl_;
 };
 

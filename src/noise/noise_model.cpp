@@ -1,0 +1,181 @@
+#include "noise/noise_model.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace hisim::noise {
+namespace {
+
+void check_prob(const char* what, double p) {
+  HISIM_CHECK_MSG(p >= 0.0 && p <= 1.0,
+                  what << " probability " << p << " is outside [0, 1]");
+}
+
+Channel::Op pauli_op(double prob, GateKind kind) {
+  Channel::Op op;
+  op.prob = prob;
+  op.kind = kind;
+  return op;
+}
+
+Channel::Op kraus_op(double prob, Matrix m) {
+  Channel::Op op;
+  op.prob = prob;
+  op.kind = GateKind::Unitary;
+  op.m = std::move(m);
+  return op;
+}
+
+}  // namespace
+
+Channel Channel::depolarizing(double p) {
+  check_prob("depolarizing", p);
+  Channel ch;
+  ch.name = "depolarizing";
+  if (p < 1.0) ch.ops.push_back(pauli_op(1.0 - p, GateKind::I));
+  for (GateKind k : {GateKind::X, GateKind::Y, GateKind::Z})
+    if (p > 0.0) ch.ops.push_back(pauli_op(p / 3.0, k));
+  return ch;
+}
+
+Channel Channel::bit_flip(double p) {
+  check_prob("bit-flip", p);
+  Channel ch;
+  ch.name = "bit_flip";
+  if (p < 1.0) ch.ops.push_back(pauli_op(1.0 - p, GateKind::I));
+  if (p > 0.0) ch.ops.push_back(pauli_op(p, GateKind::X));
+  return ch;
+}
+
+Channel Channel::phase_flip(double p) {
+  check_prob("phase-flip", p);
+  Channel ch;
+  ch.name = "phase_flip";
+  if (p < 1.0) ch.ops.push_back(pauli_op(1.0 - p, GateKind::I));
+  if (p > 0.0) ch.ops.push_back(pauli_op(p, GateKind::Z));
+  return ch;
+}
+
+Channel Channel::pauli(double px, double py, double pz) {
+  check_prob("pauli X", px);
+  check_prob("pauli Y", py);
+  check_prob("pauli Z", pz);
+  HISIM_CHECK_MSG(px + py + pz <= 1.0 + 1e-12,
+                  "pauli channel probabilities sum to " << px + py + pz
+                                                        << " > 1");
+  Channel ch;
+  ch.name = "pauli";
+  const double pi = 1.0 - px - py - pz;
+  if (pi > 0.0) ch.ops.push_back(pauli_op(pi, GateKind::I));
+  if (px > 0.0) ch.ops.push_back(pauli_op(px, GateKind::X));
+  if (py > 0.0) ch.ops.push_back(pauli_op(py, GateKind::Y));
+  if (pz > 0.0) ch.ops.push_back(pauli_op(pz, GateKind::Z));
+  return ch;
+}
+
+Channel Channel::amplitude_damping(double gamma) {
+  check_prob("amplitude-damping", gamma);
+  Channel ch;
+  ch.name = "amplitude_damping";
+  if (gamma == 0.0) {
+    ch.ops.push_back(pauli_op(1.0, GateKind::I));
+    return ch;
+  }
+  // Kraus pair K0 = diag(1, sqrt(1-gamma)), K1 = sqrt(gamma)|0><1|,
+  // sampled with q_k = tr(K_k^dag K_k)/2 — the branch weight on the
+  // maximally mixed state, nonzero exactly when K_k != 0 (q0 > 0 even at
+  // gamma = 1, where K0 = |0><0| still acts) — and stored pre-scaled as
+  // K_k/sqrt(q_k). Then sum_k q_k Kt_k^dag Kt_k = sum_k K_k^dag K_k = I:
+  // the unraveling is trace-preserving in expectation.
+  const double q0 = (2.0 - gamma) / 2.0;
+  const double q1 = gamma / 2.0;
+  Matrix k0(2, 2);
+  k0(0, 0) = 1.0 / std::sqrt(q0);
+  k0(1, 1) = std::sqrt((1.0 - gamma) / q0);
+  ch.ops.push_back(kraus_op(q0, std::move(k0)));
+  Matrix k1(2, 2);
+  k1(0, 1) = std::sqrt(gamma / q1);
+  ch.ops.push_back(kraus_op(q1, std::move(k1)));
+  return ch;
+}
+
+bool Channel::unitary_ops() const {
+  for (const Op& op : ops)
+    if (op.kind == GateKind::Unitary) return false;
+  return true;
+}
+
+bool Channel::trace_preserving(double tol) const {
+  // sum_k prob_k * op_k^dag op_k for a Pauli op is prob_k * I.
+  Matrix acc(2, 2);
+  for (const Op& op : ops) {
+    if (op.kind == GateKind::Unitary) {
+      acc = acc + (op.m.adjoint() * op.m) * cplx{op.prob};
+    } else {
+      acc(0, 0) += op.prob;
+      acc(1, 1) += op.prob;
+    }
+  }
+  return acc.max_abs_diff(Matrix::identity(2)) <= tol;
+}
+
+NoiseModel& NoiseModel::after_all_gates(Channel ch) {
+  HISIM_CHECK_MSG(!ch.ops.empty(), "channel has no operators");
+  defaults_.push_back(std::move(ch));
+  return *this;
+}
+
+NoiseModel& NoiseModel::after_gate(GateKind kind, Channel ch) {
+  HISIM_CHECK_MSG(!ch.ops.empty(), "channel has no operators");
+  HISIM_CHECK_MSG(kind != GateKind::NoiseSlot,
+                  "cannot attach noise to noise slots");
+  per_gate_[kind].push_back(std::move(ch));
+  return *this;
+}
+
+NoiseModel& NoiseModel::on_qubit(Qubit q, Channel ch) {
+  HISIM_CHECK_MSG(!ch.ops.empty(), "channel has no operators");
+  per_qubit_[q].push_back(std::move(ch));
+  return *this;
+}
+
+NoiseModel& NoiseModel::readout(ReadoutError e) {
+  check_prob("readout p01", e.p01);
+  check_prob("readout p10", e.p10);
+  default_readout_ = e;
+  has_readout_ = true;
+  return *this;
+}
+
+NoiseModel& NoiseModel::readout(Qubit q, ReadoutError e) {
+  check_prob("readout p01", e.p01);
+  check_prob("readout p10", e.p10);
+  per_qubit_readout_[q] = e;
+  has_readout_ = true;
+  return *this;
+}
+
+bool NoiseModel::empty() const {
+  return defaults_.empty() && per_gate_.empty() && per_qubit_.empty() &&
+         !has_readout_;
+}
+
+ReadoutError NoiseModel::readout_for(Qubit q) const {
+  const auto it = per_qubit_readout_.find(q);
+  return it != per_qubit_readout_.end() ? it->second : default_readout_;
+}
+
+std::vector<const Channel*> NoiseModel::channels_for(const Gate& g,
+                                                     Qubit q) const {
+  std::vector<const Channel*> out;
+  for (const Channel& ch : defaults_) out.push_back(&ch);
+  if (const auto it = per_gate_.find(g.kind); it != per_gate_.end())
+    for (const Channel& ch : it->second) out.push_back(&ch);
+  if (const auto it = per_qubit_.find(q); it != per_qubit_.end())
+    for (const Channel& ch : it->second) out.push_back(&ch);
+  return out;
+}
+
+}  // namespace hisim::noise

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "circuit/gate.hpp"
+
+/// Noise-model description: which stochastic channel acts after which
+/// gates, plus classical readout error. A NoiseModel is a *compile-time*
+/// input (Options::noise): Engine::compile reserves one identity "noise
+/// slot" in the circuit structure per (noisy gate, qubit) pair, and the
+/// trajectory executor (ExecutionPlan::execute_trajectories) samples a
+/// concrete operator per slot per trajectory — see noise/trajectory.hpp.
+namespace hisim::noise {
+
+/// A single-qubit noise channel in trajectory-sampling form: a discrete
+/// distribution over 2x2 operators applied with fixed probabilities.
+///
+/// Pauli channels (depolarizing, bit/phase flip, generic Pauli) are
+/// mixtures of unitaries, so a sampled trajectory stays normalized and
+/// carries weight 1. Non-unitary channels (amplitude damping) are
+/// unraveled over their Kraus operators with *fixed* sampling
+/// probabilities q_k: the stored operator is K_k / sqrt(q_k), so
+///   E_k[ (K_k/sqrt(q_k)) rho (K_k/sqrt(q_k))^dag ] = sum_k K_k rho K_k^dag
+/// — the exact channel in expectation — at the cost of per-trajectory
+/// weights ||psi~||^2 != 1 (tracked by NoisyResult::weights). This keeps
+/// the sample state-independent, which is what lets a trajectory be fully
+/// determined by its seed and replayed bit-identically.
+struct Channel {
+  /// One sampled branch: applied with probability `prob`. Pauli branches
+  /// carry their GateKind (I/X/Y/Z — the fast apply kernels); Kraus
+  /// branches carry kind Unitary and the pre-scaled matrix.
+  struct Op {
+    double prob = 0.0;
+    GateKind kind = GateKind::I;
+    Matrix m;  // only for kind == Unitary
+  };
+  std::string name;
+  std::vector<Op> ops;
+
+  /// Depolarizing: with probability p apply X, Y, or Z (p/3 each).
+  /// Throws hisim::Error unless p is in [0, 1].
+  static Channel depolarizing(double p);
+  /// Bit flip: X with probability p.
+  static Channel bit_flip(double p);
+  /// Phase flip: Z with probability p.
+  static Channel phase_flip(double p);
+  /// Generic Pauli channel: X/Y/Z with probabilities px/py/pz.
+  /// Throws unless each is in [0, 1] and px + py + pz <= 1.
+  static Channel pauli(double px, double py, double pz);
+  /// Amplitude damping with decay probability gamma, unraveled over the
+  /// Kraus pair K0 = diag(1, sqrt(1-gamma)), K1 = sqrt(gamma)|0><1| with
+  /// sampling probabilities (1-gamma, gamma). Trajectories carry weights.
+  static Channel amplitude_damping(double gamma);
+
+  /// True when every branch is a plain Pauli (trajectory weight stays 1).
+  bool unitary_ops() const;
+  /// Completeness check: sum_k prob_k * op_k^dag op_k == I within tol —
+  /// the trace-preservation property the unraveling relies on.
+  bool trace_preserving(double tol = 1e-12) const;
+};
+
+/// Classical readout confusion on one qubit, applied to sampled shots:
+/// a true 0 reads as 1 with probability p01, a true 1 as 0 with p10.
+struct ReadoutError {
+  double p01 = 0.0;
+  double p10 = 0.0;
+  bool trivial() const { return p01 == 0.0 && p10 == 0.0; }
+};
+
+/// Where channels attach. Channels accumulate: a gate matching several
+/// rules gets every matching channel, in rule-registration order
+/// (defaults first, then per-gate-kind, then per-qubit), one slot each.
+class NoiseModel {
+ public:
+  /// Channel applied after *every* gate, on each qubit the gate touches.
+  NoiseModel& after_all_gates(Channel ch);
+  /// Channel applied after every gate of `kind`, on each touched qubit.
+  NoiseModel& after_gate(GateKind kind, Channel ch);
+  /// Channel applied after any gate touching qubit `q` (on `q` only).
+  NoiseModel& on_qubit(Qubit q, Channel ch);
+  /// Readout confusion for every qubit (per-qubit readout() overrides).
+  NoiseModel& readout(ReadoutError e);
+  NoiseModel& readout(Qubit q, ReadoutError e);
+
+  /// True when the model attaches no channels and no readout error —
+  /// Engine::compile then skips instrumentation entirely.
+  bool empty() const;
+
+  bool has_readout() const { return has_readout_; }
+  /// The effective readout confusion for qubit q.
+  ReadoutError readout_for(Qubit q) const;
+  /// The channels that act on qubit `q` after gate `g`, in rule order.
+  std::vector<const Channel*> channels_for(const Gate& g, Qubit q) const;
+
+ private:
+  std::vector<Channel> defaults_;
+  std::map<GateKind, std::vector<Channel>> per_gate_;
+  std::map<Qubit, std::vector<Channel>> per_qubit_;
+  ReadoutError default_readout_;
+  std::map<Qubit, ReadoutError> per_qubit_readout_;
+  bool has_readout_ = false;
+};
+
+}  // namespace hisim::noise

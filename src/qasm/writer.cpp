@@ -12,7 +12,7 @@ namespace {
 bool qelib_expressible(const Gate& g) {
   switch (g.kind) {
     case GateKind::RZZ: case GateKind::RXX: case GateKind::MCX:
-    case GateKind::Unitary:
+    case GateKind::Unitary: case GateKind::NoiseSlot:
       return false;
     default:
       return true;

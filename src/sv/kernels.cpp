@@ -121,6 +121,11 @@ std::vector<cplx> diagonal_phases(const Gate& g) {
 void apply_gate_on(StateVector& state, const Gate& g,
                    const std::vector<Qubit>& qs) {
   for (Qubit q : qs) HISIM_CHECK(q < state.num_qubits());
+  // Exact identities: the id gate and an unfilled noise slot. Skipping
+  // them (rather than sweeping a diagonal of ones) keeps instrumented
+  // plans bit-identical to — and as fast as — their ideal circuits when
+  // no trajectory operator is substituted.
+  if (g.kind == GateKind::I || g.kind == GateKind::NoiseSlot) return;
   if (g.is_diagonal()) {
     apply_diagonal(state, qs, diagonal_phases(g));
     return;
@@ -175,6 +180,8 @@ void apply_gate_remapped(StateVector& state, const Gate& gate,
 
 double gate_flops(const Gate& gate, unsigned num_qubits) {
   // One 2x2 matrix-vector multiply = 28 FLOPs (paper Sec. III-A).
+  if (gate.kind == GateKind::I || gate.kind == GateKind::NoiseSlot)
+    return 0.0;  // applied as exact no-ops by the kernels
   const double pairs = static_cast<double>(dim(num_qubits)) / 2.0;
   if (gate.is_diagonal())  // one complex multiply (6 FLOPs) per amplitude
     return 6.0 * static_cast<double>(dim(num_qubits));

@@ -8,8 +8,29 @@
 
 #include "common/bits.hpp"
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace hisim::sv {
+namespace {
+
+/// Fixed, machine-independent block grid for deterministic parallel
+/// reductions over amplitude ranges: per-block partials are computed
+/// concurrently and merged serially in block order, so the floating-point
+/// summation order — and therefore every downstream bit (pooled counts,
+/// shot outcomes) — is identical no matter how many workers ran.
+struct BlockGrid {
+  Index blocks;
+  Index per;  // amplitudes per block (last block may be short)
+};
+
+BlockGrid block_grid(Index n, Index max_blocks = 256) {
+  constexpr Index kGrain = Index{1} << 14;
+  Index blocks = std::min((n + kGrain - 1) / kGrain, max_blocks);
+  if (blocks == 0) blocks = 1;
+  return {blocks, (n + blocks - 1) / blocks};
+}
+
+}  // namespace
 
 PauliString PauliString::parse(const std::string& text) {
   PauliString out;
@@ -118,30 +139,91 @@ std::vector<double> marginal_probabilities(const StateVector& state,
   const unsigned k = static_cast<unsigned>(qubits.size());
   HISIM_CHECK(k <= 30);
   std::vector<double> probs(Index{1} << k, 0.0);
-  for (Index i = 0; i < state.size(); ++i) {
-    const double pr = std::norm(state[i]);
-    if (pr == 0.0) continue;
-    Index code = 0;
-    for (unsigned j = 0; j < k; ++j)
-      code |= static_cast<Index>(bits::test(i, qubits[j])) << j;
-    probs[code] += pr;
+  // Blocked accumulation over parallel::for_range: each block fills a
+  // private table, merged serially in block order (deterministic). Cap
+  // the block count so the partial tables never dominate the state
+  // itself when the marginal register is wide.
+  const Index table = probs.size();
+  const BlockGrid grid = block_grid(
+      state.size(), std::max<Index>(1, state.size() / std::max<Index>(
+                                           Index{1}, table)));
+  const auto accumulate = [&](std::vector<double>& into, Index lo,
+                              Index hi) {
+    for (Index i = lo; i < hi; ++i) {
+      const double pr = std::norm(state[i]);
+      if (pr == 0.0) continue;
+      Index code = 0;
+      for (unsigned j = 0; j < k; ++j)
+        code |= static_cast<Index>(bits::test(i, qubits[j])) << j;
+      into[code] += pr;
+    }
+  };
+  if (grid.blocks <= 1) {
+    accumulate(probs, 0, state.size());
+    return probs;
   }
+  std::vector<std::vector<double>> partial(grid.blocks);
+  parallel::for_range(
+      0, grid.blocks,
+      [&](Index lo, Index hi) {
+        for (Index b = lo; b < hi; ++b) {
+          partial[b].assign(table, 0.0);
+          accumulate(partial[b], b * grid.per,
+                     std::min(state.size(), (b + 1) * grid.per));
+        }
+      },
+      /*grain=*/1);
+  for (const std::vector<double>& local : partial)
+    for (Index j = 0; j < table; ++j) probs[j] += local[j];
   return probs;
 }
 
 std::vector<Index> sample(const StateVector& state, std::size_t shots,
                           Rng& rng) {
-  // Cumulative distribution + binary search per shot.
-  std::vector<double> cdf(state.size());
-  double acc = 0.0;
-  for (Index i = 0; i < state.size(); ++i) {
-    acc += std::norm(state[i]);
-    cdf[i] = acc;
+  // Cumulative distribution + binary search per shot. The prefix sum is
+  // built as a two-pass block scan over parallel::for_range: pass 1
+  // computes within-block inclusive prefixes and block totals, a serial
+  // exclusive scan turns the totals into block offsets (fixed fp order),
+  // and pass 2 adds each block's offset back in. Shots are then drawn
+  // against the total mass, so an unnormalized state — e.g. a weighted
+  // Kraus-unraveling trajectory — samples its *normalized* distribution.
+  const Index n = state.size();
+  std::vector<double> cdf(n);
+  const BlockGrid grid = block_grid(n);
+  std::vector<double> block_sum(grid.blocks, 0.0);
+  parallel::for_range(
+      0, grid.blocks,
+      [&](Index lo, Index hi) {
+        for (Index b = lo; b < hi; ++b) {
+          const Index end = std::min(n, (b + 1) * grid.per);
+          double acc = 0.0;
+          for (Index i = b * grid.per; i < end; ++i) {
+            acc += std::norm(state[i]);
+            cdf[i] = acc;
+          }
+          block_sum[b] = acc;
+        }
+      },
+      /*grain=*/1);
+  double total = 0.0;
+  std::vector<double> offset(grid.blocks);
+  for (Index b = 0; b < grid.blocks; ++b) {
+    offset[b] = total;
+    total += block_sum[b];
   }
-  HISIM_CHECK_MSG(std::abs(acc - 1.0) < 1e-6, "state is not normalized");
+  parallel::for_range(
+      1, grid.blocks,
+      [&](Index lo, Index hi) {
+        for (Index b = lo; b < hi; ++b) {
+          const Index end = std::min(n, (b + 1) * grid.per);
+          for (Index i = b * grid.per; i < end; ++i) cdf[i] += offset[b];
+        }
+      },
+      /*grain=*/1);
+  HISIM_CHECK_MSG(total > 0.0, "cannot sample from a zero-norm state");
   std::vector<Index> out(shots);
   for (std::size_t s = 0; s < shots; ++s) {
-    const double u = rng.uniform() * acc;
+    const double u = rng.uniform() * total;
     out[s] = static_cast<Index>(
         std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
   }

@@ -225,6 +225,69 @@ TEST(CliFlags, SweepGridSizeIsCapped) {
   EXPECT_EQ(sweep_points(parse_flags({"--sweep=a=0:1:1000"})).size(), 1000u);
 }
 
+TEST(CliFlags, NoiseAndTrajectoriesParse) {
+  const Flags f = parse_flags({"--noise=depolarizing=0.02", "--noise",
+                               "readout=0.01", "--trajectories=500",
+                               "--noise-seed=99", "--observable=Z0*Z3",
+                               "--observable", "X1"});
+  ASSERT_EQ(f.noise.size(), 2u);
+  EXPECT_EQ(f.noise[0].first, "depolarizing");
+  EXPECT_EQ(f.noise[0].second, 0.02);
+  EXPECT_EQ(f.noise[1].first, "readout");
+  EXPECT_EQ(f.trajectories, 500u);
+  EXPECT_EQ(f.noise_seed, 99u);
+  ASSERT_EQ(f.observables.size(), 2u);
+  EXPECT_EQ(f.observables[0], "Z0*Z3");
+  EXPECT_EQ(f.observables[1], "X1");
+  // The model carries every channel; its slots are reserved at compile.
+  EXPECT_FALSE(noise_model(f).empty());
+  EXPECT_FALSE(engine_options(f).noise.empty());
+  EXPECT_TRUE(noise_model(parse_flags({})).empty());
+}
+
+TEST(CliFlags, NoiseRejectionsAreLoud) {
+  // Malformed specs and unknown kinds.
+  EXPECT_THROW(parse_flags({"--noise=depolarizing"}), Error);  // no value
+  EXPECT_THROW(parse_flags({"--noise==0.1"}), Error);          // no kind
+  EXPECT_THROW(
+      parse_flags({"--noise=cosmic=0.1", "--trajectories=10"}), Error);
+  // Noise and trajectories must come as a pair, in either order.
+  EXPECT_THROW(parse_flags({"--noise=depolarizing=0.1"}), Error);
+  EXPECT_THROW(parse_flags({"--trajectories=10"}), Error);
+  EXPECT_THROW(parse_flags({"--trajectories=0"}), Error);
+  // Trajectories are incompatible with sweep grids.
+  EXPECT_THROW(parse_flags({"--noise=bitflip=0.1", "--trajectories=5",
+                            "--sweep=g=0:1:3"}),
+               Error);
+  // A repeated kind would silently double the channel strength.
+  EXPECT_THROW(parse_flags({"--noise=bitflip=0.1", "--noise=bitflip=0.1",
+                            "--trajectories=5"}),
+               Error);
+  EXPECT_THROW(parse_flags({"--noise=readout=0.1", "--noise=readout=0.2",
+                            "--trajectories=5"}),
+               Error);
+  EXPECT_NO_THROW(parse_flags({"--noise=bitflip=0.1",
+                               "--noise=phaseflip=0.1",
+                               "--trajectories=5"}));
+  // A probability outside [0, 1] parses but is rejected when the model
+  // is built (before any compile), naming the offending value.
+  const Flags bad =
+      parse_flags({"--noise=depolarizing=1.5", "--trajectories=10"});
+  try {
+    (void)noise_model(bad);
+    FAIL() << "expected invalid-probability error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("outside [0, 1]"),
+              std::string::npos);
+  }
+  EXPECT_THROW(noise_model(parse_flags(
+                   {"--noise=damping=-0.5", "--trajectories=2"})),
+               Error);
+  EXPECT_THROW(noise_model(parse_flags(
+                   {"--noise=readout=1.1", "--trajectories=2"})),
+               Error);
+}
+
 TEST(CliFlags, TargetNameRoundTrip) {
   for (Target t : {Target::Flat, Target::Hierarchical, Target::Multilevel,
                    Target::DistributedSerial, Target::DistributedThreaded,

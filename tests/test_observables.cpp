@@ -127,6 +127,50 @@ TEST(Sampling, SeedReproducible) {
   EXPECT_EQ(sample(s, 50, a), sample(s, 50, b));
 }
 
+// The blocked-parallel marginal accumulation must agree with a serial
+// reference on a state large enough to actually split into blocks, and
+// repeated calls must be bit-identical (deterministic merge order).
+TEST(Marginals, ParallelBlocksMatchSerialReference) {
+  const auto s = FlatSimulator().simulate(circuits::qaoa(16, 2, 9));
+  const std::vector<Qubit> qs{0, 5, 11, 15};
+  const auto probs = marginal_probabilities(s, qs);
+  ASSERT_EQ(probs.size(), 16u);
+  std::vector<double> ref(16, 0.0);
+  for (Index i = 0; i < s.size(); ++i) {
+    Index code = 0;
+    for (unsigned j = 0; j < qs.size(); ++j)
+      code |= static_cast<Index>((i >> qs[j]) & 1u) << j;
+    ref[code] += std::norm(s[i]);
+  }
+  for (std::size_t j = 0; j < ref.size(); ++j)
+    EXPECT_NEAR(probs[j], ref[j], 1e-12) << j;
+  EXPECT_EQ(marginal_probabilities(s, qs), probs);  // bit-deterministic
+}
+
+// The blocked cdf build must sample the same distribution at scale, stay
+// deterministic, and — since shots are drawn against the total mass —
+// sample an *unnormalized* state's normalized distribution (the weighted
+// Kraus-unraveling trajectories rely on this).
+TEST(Sampling, BlockedCdfIsDeterministicAndHandlesUnnormalizedStates) {
+  const auto s = FlatSimulator().simulate(circuits::qft(16));
+  Rng a(7), b(7);
+  EXPECT_EQ(sample(s, 200, a), sample(s, 200, b));
+
+  StateVector scaled(3);
+  apply_gate(scaled, Gate::h(0));
+  for (Index i = 0; i < scaled.size(); ++i) scaled[i] *= 0.5;  // norm 0.25
+  Rng rng(21);
+  const auto shots = sample(scaled, 4000, rng);
+  const double p0 = static_cast<double>(
+                        std::count(shots.begin(), shots.end(), Index{0})) /
+                    4000.0;
+  EXPECT_NEAR(p0, 0.5, 0.03);
+  StateVector zero(2);
+  zero[0] = 0.0;  // no amplitude anywhere
+  Rng zrng(1);
+  EXPECT_THROW(sample(zero, 10, zrng), Error);
+}
+
 TEST(Sampling, MatchesBornRule) {
   StateVector s(1);
   apply_gate(s, Gate::ry(0, 2.0 * std::acos(std::sqrt(0.8))));

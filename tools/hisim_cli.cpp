@@ -4,13 +4,16 @@
 //         [--strategy=dagp|dfs|nat] [--ranks=R] [--level2=L2]
 //         [--backend=serial|threaded] [--target=T] [--shots=S] [--json]
 //         [--bind name=value]... [--sweep name=start:stop:steps]...
+//         [--observable=PAULI]... [--noise kind=p]... [--trajectories=N]
+//         [--noise-seed=S]
 //   hisim partition <circuit|file.qasm> [--qubits=N] [--limit=L]
 //         [--strategy=...] [--dot=out.dot] [--exact]
 //   hisim suite                      # list the built-in benchmark suite
 //
 // <circuit> is a suite name (bv, qft, ...), "qaoa-p" (parameterized
-// 2-round QAOA with angles gamma0/beta0/gamma1/beta1), or a path ending
-// in .qasm.
+// 2-round QAOA with angles gamma0/beta0/gamma1/beta1), "noisecal" (the
+// repeated-gate/idle noise-calibration circuit), or a path ending in
+// .qasm.
 // --ranks must be a power of two (R = 2^p simulated processes).
 // --target is one of flat, hierarchical, multilevel, distributed-serial,
 // distributed-threaded, iqs-baseline; when omitted it is derived from
@@ -18,6 +21,11 @@
 // --bind pins a circuit parameter; --sweep runs the cartesian grid of its
 // axes through one compiled plan (one report line — or JSON array entry —
 // per point). Every circuit parameter must be covered by a bind or sweep.
+// --noise kind=p attaches a channel (depolarizing, bitflip, phaseflip,
+// damping — after every gate; readout — shot confusion) and requires
+// --trajectories=N: the plan compiles once with reserved noise slots and
+// every trajectory is a pure execute with sampled Pauli/Kraus insertions
+// (--shots then means shots *per trajectory*, pooled in the report).
 
 #include <algorithm>
 #include <cstdio>
@@ -43,6 +51,8 @@ Circuit load_circuit(const std::string& spec, unsigned qubits) {
   // the circuit --bind/--sweep are made for — one compiled plan, every
   // angle point a pure execute.
   if (spec == "qaoa-p") return circuits::qaoa_instance(qubits, 2).circuit;
+  // The repeated-gate/idle calibration circuit --noise runs are made for.
+  if (spec == "noisecal") return circuits::noise_calibration(qubits);
   return circuits::make_by_name(spec, qubits);
 }
 
@@ -66,6 +76,46 @@ int cmd_run(const std::string& spec, const cli::Flags& f) {
   ExecOptions x;
   x.shots = f.shots;
   x.bindings = f.bindings;
+  for (const std::string& o : f.observables)
+    x.observables.push_back(sv::PauliString::parse(o));
+
+  if (f.trajectories > 0) {
+    // Stochastic trajectories: one compiled plan (noise slots reserved at
+    // compile), every trajectory a pure execute with sampled insertions.
+    TrajectoryOptions topt;
+    topt.exec = x;
+    topt.seed = f.noise_seed;
+    const NoisyResult nr = plan.execute_trajectories(f.trajectories, topt);
+    if (f.json) {
+      std::printf("%s\n", nr.to_json().c_str());
+      return 0;
+    }
+    std::printf(
+        "target=%s trajectories=%zu slots=%zu mean_weight=%.6f "
+        "compile=%.4fs execute=%.4fs (%.1f traj/s)\n",
+        target_name(nr.target), nr.trajectories, nr.noise_slots,
+        nr.mean_weight, nr.compile_seconds, nr.execute_seconds,
+        nr.execute_seconds > 0.0
+            ? static_cast<double>(nr.trajectories) / nr.execute_seconds
+            : 0.0);
+    for (std::size_t i = 0; i < nr.observable_means.size(); ++i)
+      std::printf("observable %s = %.6f +- %.6f (stderr, %zu trajectories)\n",
+                  x.observables[i].to_string().c_str(),
+                  nr.observable_means[i], nr.observable_stderrs[i],
+                  nr.trajectories);
+    if (!nr.counts.empty()) {
+      const std::vector<std::pair<double, Index>> top = nr.top_counts(8);
+      std::printf("top pooled outcomes (%zu shots x %zu trajectories):\n",
+                  nr.shots_per_trajectory, nr.trajectories);
+      for (std::size_t i = 0; i < top.size(); ++i) {
+        std::printf("  ");
+        for (unsigned q = c.num_qubits(); q-- > 0;)
+          std::printf("%c", (top[i].second >> q) & 1 ? '1' : '0');
+        std::printf("  %.6g\n", top[i].first);
+      }
+    }
+    return 0;
+  }
 
   const std::vector<ParamBinding> points = cli::sweep_points(f);
   if (!points.empty()) {
@@ -110,6 +160,10 @@ int cmd_run(const std::string& spec, const cli::Flags& f) {
                 target_name(r.target), r.parts, r.compile_seconds,
                 r.total_seconds(), r.norm);
   }
+
+  for (std::size_t i = 0; i < r.observables.size(); ++i)
+    std::printf("observable %s = %.6f\n",
+                x.observables[i].to_string().c_str(), r.observables[i]);
 
   if (!r.samples.empty()) {
     std::map<Index, std::size_t> hist;
