@@ -1,0 +1,106 @@
+// Optimization pass pipeline impact on the Table I suite: per-circuit
+// gate-count and partition-count deltas between opt_level 0 and 1, the
+// per-pass removal breakdown, and the compile-time overhead the pipeline
+// adds. --json emits one object per circuit plus a summary with the mean
+// gate reduction (the acceptance bar is >= 10%).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hpp"
+#include "opt/pass_manager.hpp"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hisim;
+  const auto args = bench::parse_args(argc, argv);
+
+  if (!args.json) {
+    std::printf(
+        "== Optimization passes: gate/partition deltas on the suite ==\n");
+    std::printf("(opt_level 0 vs 1, Hierarchical target)\n\n");
+    bench::print_row({"circuit", "qubits", "gates0", "gates1", "reduct",
+                      "parts0", "parts1", "compile-ovh"},
+                     {10, 7, 8, 8, 8, 7, 7, 12});
+  } else {
+    std::printf("[\n");
+  }
+
+  double sum_reduction = 0.0;
+  int count = 0;
+  bool first = true;
+  for (const auto& e : bench::scaled_suite(args)) {
+    const Circuit& c = e.circuit;
+    unsigned max_arity = 2;  // the hierarchical target does not lower
+    for (const Gate& g : c.gates())
+      max_arity = std::max(max_arity, g.arity());
+    Options o1;
+    o1.target = Target::Hierarchical;
+    o1.limit = std::max(max_arity, c.num_qubits() / 2);
+    o1.seed = args.seed;
+    Options o0 = o1;
+    o0.opt_level = 0;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const ExecutionPlan p0 = Engine::compile(c, o0);
+    const double compile0 = seconds_since(t0);
+    const auto t1 = std::chrono::steady_clock::now();
+    const ExecutionPlan p1 = Engine::compile(c, o1);
+    const double compile1 = seconds_since(t1);
+
+    const std::size_t gates0 = p0.circuit().num_gates();
+    const std::size_t gates1 = p1.circuit().num_gates();
+    const double reduction =
+        1.0 - static_cast<double>(gates1) / static_cast<double>(gates0);
+    sum_reduction += reduction;
+    ++count;
+
+    if (args.json) {
+      std::printf("%s  {\"circuit\": \"%s\", \"qubits\": %u, "
+                  "\"gates_pre_opt\": %zu, \"gates\": %zu, "
+                  "\"gate_reduction\": %.4f, \"parts_pre_opt\": %zu, "
+                  "\"parts\": %zu, \"compile_seconds_opt0\": %.6f, "
+                  "\"compile_seconds_opt1\": %.6f, \"opt_passes\": {",
+                  first ? "" : ",\n", e.meta.name.c_str(), c.num_qubits(),
+                  gates0,
+                  gates1, reduction, p0.num_parts(), p1.num_parts(),
+                  compile0, compile1);
+      bool first_pass = true;
+      for (const PassDelta& d : p1.opt_report().deltas) {
+        std::printf("%s\"%s\": %zu", first_pass ? "" : ", ", d.pass.c_str(),
+                    d.removed);
+        first_pass = false;
+      }
+      std::printf("}}");
+      first = false;
+    } else {
+      bench::print_row(
+          {e.meta.name, std::to_string(c.num_qubits()),
+           std::to_string(gates0), std::to_string(gates1),
+           bench::fmt(100.0 * reduction, 1) + "%",
+           std::to_string(p0.num_parts()), std::to_string(p1.num_parts()),
+           bench::fmt(1e3 * (compile1 - compile0), 3) + " ms"},
+          {10, 7, 8, 8, 8, 7, 7, 12});
+    }
+  }
+
+  const double mean = count > 0 ? sum_reduction / count : 0.0;
+  if (args.json) {
+    std::printf(",\n  {\"mean_gate_reduction\": %.4f, \"circuits\": %d}\n]\n",
+                mean, count);
+  } else {
+    std::printf("\nmean gate reduction: %s%% over %d circuits\n",
+                bench::fmt(100.0 * mean, 1).c_str(), count);
+  }
+  return 0;
+}

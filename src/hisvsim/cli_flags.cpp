@@ -159,6 +159,8 @@ Flags parse_flags(const std::vector<std::string>& args) {
       f.qubits = static_cast<unsigned>(parse_uint("--qubits", v));
     } else if (const char* v = val("--limit=")) {
       f.limit = static_cast<unsigned>(parse_uint("--limit", v));
+    } else if (const char* v = val("--opt-level=")) {
+      f.opt_level = static_cast<unsigned>(parse_uint("--opt-level", v, 1));
     } else if (const char* v = val("--ranks=")) {
       const unsigned long long r = parse_uint("--ranks", v);
       HISIM_CHECK_MSG(r > 0 && (r & (r - 1)) == 0,
@@ -315,6 +317,7 @@ Options engine_options(const Flags& f) {
   o.target = effective_target(f);
   o.strategy = f.strategy;
   o.limit = f.limit;
+  o.opt_level = f.opt_level;
   o.level2_limit = f.level2;
   o.process_qubits = f.ranks_p;
   o.noise = noise_model(f);

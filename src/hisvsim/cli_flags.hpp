@@ -25,6 +25,9 @@ struct SweepSpec {
 struct Flags {
   unsigned qubits = 14;
   unsigned limit = 0;
+  /// Circuit optimization level (--opt-level=0|1); matches
+  /// Options::opt_level, default on. Values > 1 are rejected.
+  unsigned opt_level = 1;
   /// Process qubits p: --ranks=R requires R = 2^p. R = 1 gives p = 0,
   /// which (matching the old CLI) means single-node execution.
   unsigned ranks_p = 0;

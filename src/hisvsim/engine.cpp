@@ -69,6 +69,9 @@ struct PlanImpl {
   /// confusion). Empty unless the plan was compiled with Options::noise;
   /// the instrumented circuit's NoiseSlot gates reference these slots.
   noise::CompiledNoise noise;
+  /// Gate-count accounting of the compile-time optimization pipeline
+  /// (all-zero removals when compiled at opt_level 0).
+  OptReport opt_report;
   unsigned effective_limit = 0;
   unsigned effective_level2 = 0;
   double compile_seconds = 0.0;
@@ -212,6 +215,20 @@ std::string Result::to_json() const {
   json_int(os, first, "gates", gates);
   json_str(os, first, "target", target_name(target));
   json_str(os, first, "strategy", partition::strategy_name(strategy));
+  json_int(os, first, "opt_level", opt_level);
+  json_int(os, first, "gates_pre_opt", gates_pre_opt);
+  if (!opt_passes.empty()) {
+    // Per-pass removed-gate counts, pipeline order ("gates_pre_opt" minus
+    // the sum of these is "gates").
+    append_kv(os, first, "opt_passes");
+    os << '{';
+    for (std::size_t i = 0; i < opt_passes.size(); ++i) {
+      if (i) os << ", ";
+      json_quoted(os, opt_passes[i].pass);
+      os << ": " << opt_passes[i].removed;
+    }
+    os << '}';
+  }
   json_int(os, first, "parts", parts);
   json_int(os, first, "inner_parts", inner_parts);
   json_num(os, first, "compile_seconds", compile_seconds);
@@ -294,6 +311,10 @@ const std::vector<std::string>& ExecutionPlan::param_names() const {
   HISIM_CHECK_MSG(impl_, "empty ExecutionPlan");
   return impl_->param_names;
 }
+const OptReport& ExecutionPlan::opt_report() const {
+  HISIM_CHECK_MSG(impl_, "empty ExecutionPlan");
+  return impl_->opt_report;
+}
 bool ExecutionPlan::noisy() const {
   HISIM_CHECK_MSG(impl_, "empty ExecutionPlan");
   return !impl_->noise.empty();
@@ -323,6 +344,18 @@ ExecutionPlan Engine::compile(const Circuit& c) const {
     instrumented = std::move(in.circuit);
     impl->noise = std::move(in.noise);
     source = &instrumented;
+  }
+  // Optimization runs after instrumentation and before partitioning, so a
+  // removed gate is removed from every downstream artifact, and the slots
+  // (barriers to every pass) keep noisy structure intact. A circuit the
+  // pipeline leaves untouched compiles to a bit-identical plan.
+  Circuit optimized;
+  if (opt_.opt_level != 0) {
+    optimized = optimize(*source, opt_.opt_level, &impl->opt_report);
+    source = &optimized;
+  } else {
+    impl->opt_report.gates_before = impl->opt_report.gates_after =
+        source->num_gates();
   }
   impl->param_names = source->param_names();
   // The distributed targets execute dplan.circuit (the possibly-lowered
@@ -470,6 +503,9 @@ Result ExecutionPlan::execute_impl(const ExecOptions& opts,
   r.gates = c.num_gates();
   r.target = opt.target;
   r.strategy = opt.strategy;
+  r.opt_level = opt.opt_level;
+  r.gates_pre_opt = plan.opt_report.gates_before;
+  r.opt_passes = plan.opt_report.deltas;
   r.parts = plan.parts;
   r.inner_parts = plan.inner_parts;
   r.ranks = plan.ranks;

@@ -12,6 +12,7 @@
 #include "dist/dist_state.hpp"
 #include "dist/hisvsim_dist.hpp"
 #include "noise/noise_model.hpp"
+#include "opt/pass_manager.hpp"
 #include "partition/partition.hpp"
 #include "sv/observables.hpp"
 #include "sv/state_vector.hpp"
@@ -84,6 +85,13 @@ struct Options {
   /// (> 0) for the distributed targets, ignored otherwise.
   unsigned process_qubits = 0;
   std::uint64_t seed = 0x5eed;
+  /// Circuit optimization level: 0 compiles the circuit exactly as given,
+  /// 1 (default) runs the canonicalization pipeline (opt/pass_manager.hpp)
+  /// before partitioning — inverse-pair cancellation, same-axis rotation
+  /// merging, identity-angle drops, diagonal commutation. NoiseSlot and
+  /// unbound symbolic gates are barriers, so noisy and parameterized plans
+  /// keep their structure regardless of level. Anything > 1 throws.
+  unsigned opt_level = 1;
   /// Noise model compiled into the plan: identity "noise slots" are
   /// reserved in the circuit structure after every matching gate, so
   /// partitioning, lowering, and the exchange schedule account for them
@@ -128,9 +136,13 @@ struct Result {
   // -- circuit / configuration identity ------------------------------
   std::string circuit;
   unsigned qubits = 0;
-  std::size_t gates = 0;
+  std::size_t gates = 0;           // as compiled (after optimization)
   Target target = Target::Hierarchical;
   partition::Strategy strategy = partition::Strategy::DagP;
+  unsigned opt_level = 1;
+  std::size_t gates_pre_opt = 0;   // before optimization (== gates at 0)
+  /// Per-pass removed-gate counts, pipeline order; empty at opt_level 0.
+  std::vector<PassDelta> opt_passes;
 
   // -- compile side (copied from the plan; identical every execution) -
   std::size_t parts = 0;
@@ -314,8 +326,12 @@ class ExecutionPlan {
   bool parameterized() const { return !param_names().empty(); }
   const Options& options() const;
   Target target() const;
-  /// The circuit as executed (lowered when wide gates required it).
+  /// The circuit as executed (optimized per Options::opt_level, lowered
+  /// when wide gates required it).
   const Circuit& circuit() const;
+  /// Gate-count accounting of the compile-time optimization pipeline
+  /// (zero removals when the plan was compiled at opt_level 0).
+  const OptReport& opt_report() const;
   std::size_t num_parts() const;
   std::size_t num_inner_parts() const;
   unsigned num_ranks() const;       // 0 for single-node targets

@@ -1,0 +1,335 @@
+#include "opt/pass_manager.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace hisim {
+namespace passes {
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+constexpr double kAngleEps = 1e-12;
+
+bool same_qubit_set(const Gate& a, const Gate& b) {
+  if (a.qubits.size() != b.qubits.size()) return false;
+  for (Qubit q : a.qubits)
+    if (std::find(b.qubits.begin(), b.qubits.end(), q) == b.qubits.end())
+      return false;
+  return true;
+}
+
+/// Positions within g.qubits that act as controls — unlike
+/// Gate::num_controls() this knows CSWAP's first qubit is a control too,
+/// which matters here: a diagonal gate commutes with any gate that only
+/// *controls* on its qubit.
+bool is_control_position(const Gate& g, Qubit q) {
+  switch (g.kind) {
+    case GateKind::CX:
+    case GateKind::CY:
+    case GateKind::CZ:
+    case GateKind::CH:
+    case GateKind::CRX:
+    case GateKind::CRY:
+    case GateKind::CRZ:
+    case GateKind::CP:
+    case GateKind::CU3:
+    case GateKind::CSWAP:
+      return g.qubits[0] == q;
+    case GateKind::CCX:
+      return g.qubits[0] == q || g.qubits[1] == q;
+    case GateKind::MCX:
+      return std::find(g.qubits.begin(), g.qubits.end() - 1, q) !=
+             g.qubits.end() - 1;
+    default:
+      return false;
+  }
+}
+
+/// Inverse-pair rule for cancel_inverses: `a` immediately precedes `b` on
+/// their full joint support (the caller established adjacency and equal
+/// qubit sets), and a·b == identity exactly.
+bool inverse_pair(const Gate& a, const Gate& b) {
+  if (a.kind != b.kind) {
+    const auto dagger = [](GateKind x, GateKind y) {
+      return (x == GateKind::S && y == GateKind::Sdg) ||
+             (x == GateKind::Sdg && y == GateKind::S) ||
+             (x == GateKind::T && y == GateKind::Tdg) ||
+             (x == GateKind::Tdg && y == GateKind::T);
+    };
+    return dagger(a.kind, b.kind) && a.qubits == b.qubits;
+  }
+  switch (a.kind) {
+    // Self-inverse kinds where control/target roles matter: the qubit
+    // vectors must match exactly (cx(0,1)·cx(1,0) is not the identity).
+    case GateKind::X:
+    case GateKind::Y:
+    case GateKind::Z:
+    case GateKind::H:
+    case GateKind::CX:
+    case GateKind::CY:
+    case GateKind::CH:
+      return a.qubits == b.qubits;
+    // Fully symmetric self-inverse kinds: any qubit order cancels.
+    case GateKind::CZ:
+    case GateKind::SWAP:
+      return true;  // same set already established by the caller
+    // CCX: the two controls are interchangeable, the target is not.
+    case GateKind::CCX:
+      return a.qubits[2] == b.qubits[2];
+    // CSWAP: the control is fixed, the two swapped qubits commute.
+    case GateKind::CSWAP:
+      return a.qubits[0] == b.qubits[0];
+    // MCX: the controls are a set, the target is fixed.
+    case GateKind::MCX:
+      return a.qubits.back() == b.qubits.back();
+    default:
+      return false;
+  }
+}
+
+/// Same-axis merge rule for merge_rotations: both concrete, same kind,
+/// compatible qubit roles (caller established adjacency and equal sets).
+bool mergeable_rotation(const Gate& a, const Gate& b) {
+  if (a.kind != b.kind || a.is_parametric() || b.is_parametric())
+    return false;
+  switch (a.kind) {
+    case GateKind::RX:
+    case GateKind::RY:
+    case GateKind::RZ:
+    case GateKind::P:
+      return true;  // single qubit, set equality is vector equality
+    // Control/target roles matter: CRZ(c,t) ≠ CRZ(t,c) (they differ by
+    // which basis state picks up which phase), likewise CRX/CRY.
+    case GateKind::CRX:
+    case GateKind::CRY:
+    case GateKind::CRZ:
+      return a.qubits == b.qubits;
+    // Symmetric in their qubit pair: any order merges.
+    case GateKind::CP:
+    case GateKind::RZZ:
+    case GateKind::RXX:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Shared sweep for cancel_inverses and merge_rotations. Walks the gate
+/// list once keeping, per qubit, a stack of surviving gate indices. A gate
+/// may combine with the gate that is on top of the stack of *all* its
+/// qubits (then provably adjacent on the full joint support — nothing
+/// after it touched any shared qubit). `try_combine` returns 0 to keep
+/// both, 1 to cancel both, 2 when it merged `g` into the earlier gate in
+/// place. Cancelled gates are popped, exposing what they covered, so
+/// rewrites cascade within one sweep.
+template <typename TryCombine>
+Circuit adjacent_rewrite(const Circuit& c, TryCombine&& try_combine) {
+  std::vector<Gate> out;
+  std::vector<char> alive;
+  out.reserve(c.num_gates());
+  alive.reserve(c.num_gates());
+  std::vector<std::vector<std::size_t>> tops(c.num_qubits());
+
+  const auto push = [&](const Gate& g) {
+    out.push_back(g);
+    alive.push_back(1);
+    for (Qubit q : g.qubits) tops[q].push_back(out.size() - 1);
+  };
+
+  for (const Gate& g : c.gates()) {
+    if (is_barrier(g)) {
+      push(g);  // barriers still occupy their qubits' stacks
+      continue;
+    }
+    std::size_t cand = kNone;
+    for (Qubit q : g.qubits) {
+      const std::size_t top = tops[q].empty() ? kNone : tops[q].back();
+      if (cand == kNone) cand = top;
+      if (top == kNone || top != cand) {
+        cand = kNone;
+        break;
+      }
+    }
+    // `cand` is on top of every stack of g's qubits; with equal support
+    // size that makes the qubit sets equal and the pair adjacent.
+    int combined = 0;
+    if (cand != kNone && !is_barrier(out[cand]) &&
+        out[cand].qubits.size() == g.qubits.size() &&
+        same_qubit_set(out[cand], g))
+      combined = try_combine(out[cand], g);
+    if (combined == 1) {
+      alive[cand] = 0;
+      for (Qubit q : out[cand].qubits) tops[q].pop_back();
+    } else if (combined != 2) {
+      push(g);
+    }
+  }
+
+  Circuit res(c.num_qubits(), c.name());
+  for (const std::string& p : c.param_names()) res.param(p);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    if (alive[i]) res.add(std::move(out[i]));
+  return res;
+}
+
+/// θ is (numerically) a multiple of `period`.
+bool near_multiple(double theta, double period) {
+  return std::abs(std::remainder(theta, period)) < kAngleEps;
+}
+
+bool identity_angle_gate(const Gate& g) {
+  if (is_barrier(g)) return false;
+  switch (g.kind) {
+    // Identity up to a global phase at θ ≡ 0 (mod 2π): RX(2π) = -I.
+    case GateKind::RX:
+    case GateKind::RY:
+    case GateKind::RZ:
+    case GateKind::RZZ:
+    case GateKind::RXX:
+    // Exact identity at θ ≡ 0 (mod 2π): diag(1, e^{iθ}).
+    case GateKind::P:
+    case GateKind::CP:
+      return near_multiple(g.params[0].value(), kTwoPi);
+    // A controlled rotation at 2π is *not* the identity — the -I phase of
+    // the target rotation lands as a Z-like phase on the control — so the
+    // drop is only sound at multiples of 4π.
+    case GateKind::CRX:
+    case GateKind::CRY:
+    case GateKind::CRZ:
+      return near_multiple(g.params[0].value(), 2.0 * kTwoPi);
+    default:
+      return false;
+  }
+}
+
+/// A gate commute_diagonals is allowed to move: concrete single-qubit
+/// diagonal, excluding barriers and plain `id` idle markers (moving an
+/// identity exposes nothing).
+bool movable_diagonal(const Gate& g) {
+  if (g.arity() != 1 || is_barrier(g) || g.kind == GateKind::I) return false;
+  return g.is_diagonal();
+}
+
+}  // namespace
+
+bool is_barrier(const Gate& g) {
+  return g.is_parametric() || g.kind == GateKind::NoiseSlot;
+}
+
+Circuit cancel_inverses(const Circuit& c) {
+  return adjacent_rewrite(c, [](Gate& prev, const Gate& g) {
+    return inverse_pair(prev, g) ? 1 : 0;
+  });
+}
+
+Circuit merge_rotations(const Circuit& c) {
+  return adjacent_rewrite(c, [](Gate& prev, const Gate& g) {
+    if (!mergeable_rotation(prev, g)) return 0;
+    prev.params[0] = prev.params[0].value() + g.params[0].value();
+    return 2;
+  });
+}
+
+Circuit drop_identities(const Circuit& c) {
+  Circuit res(c.num_qubits(), c.name());
+  for (const std::string& p : c.param_names()) res.param(p);
+  for (const Gate& g : c.gates())
+    if (!identity_angle_gate(g)) res.add(g);
+  return res;
+}
+
+Circuit commute_diagonals(const Circuit& c) {
+  std::vector<Gate> gs(c.gates());
+  for (std::size_t i = 1; i < gs.size(); ++i) {
+    if (!movable_diagonal(gs[i])) continue;
+    const Qubit q = gs[i].qubits[0];
+    std::size_t pos = i;
+    while (pos > 0) {
+      const Gate& prev = gs[pos - 1];
+      // Barriers are full fences: nothing moves past them, shared qubits
+      // or not, so noisy and symbolic circuits keep their gate order.
+      if (is_barrier(prev)) break;
+      const bool touches = std::find(prev.qubits.begin(), prev.qubits.end(),
+                                     q) != prev.qubits.end();
+      if (touches) {
+        // Hop only past multi-qubit gates that commute with a diagonal on
+        // q: diagonal gates, and gates that merely control on q. Stopping
+        // at single-qubit gates keeps the pass a terminating bubble sort —
+        // two diagonals on one qubit never swap back and forth.
+        if (prev.arity() < 2 ||
+            !(prev.is_diagonal() || is_control_position(prev, q)))
+          break;
+      }
+      // Swap with the predecessor (disjoint gates commute trivially).
+      std::swap(gs[pos - 1], gs[pos]);
+      --pos;
+    }
+  }
+  Circuit res(c.num_qubits(), c.name());
+  for (const std::string& p : c.param_names()) res.param(p);
+  for (Gate& g : gs) res.add(std::move(g));
+  return res;
+}
+
+}  // namespace passes
+
+Circuit PassManager::run(const Circuit& c, OptReport* report) const {
+  OptReport rep;
+  rep.gates_before = c.num_gates();
+  rep.deltas.reserve(pipeline_.size());
+  for (const Pass& p : pipeline_) rep.deltas.push_back({p.name, 0});
+
+  Circuit cur = c;
+  // The passes only remove gates or move them monotonically earlier, so
+  // rounds converge fast; the cap is a safety net, not a tuning knob.
+  constexpr unsigned kMaxRounds = 16;
+  for (unsigned round = 0; round < kMaxRounds; ++round) {
+    bool changed = false;
+    for (std::size_t i = 0; i < pipeline_.size(); ++i) {
+      Circuit next = pipeline_[i].run(cur);
+      HISIM_CHECK_MSG(next.num_gates() <= cur.num_gates(),
+                      "pass '" << pipeline_[i].name << "' added gates");
+      rep.deltas[i].removed += cur.num_gates() - next.num_gates();
+      if (!(next == cur)) changed = true;
+      cur = std::move(next);
+    }
+    ++rep.iterations;
+    if (!changed) break;
+  }
+
+  rep.gates_after = cur.num_gates();
+  if (report) *report = std::move(rep);
+  return cur;
+}
+
+PassManager PassManager::default_pipeline() {
+  PassManager pm;
+  pm.add("commute-diagonals", passes::commute_diagonals);
+  pm.add("cancel-inverses", passes::cancel_inverses);
+  pm.add("merge-rotations", passes::merge_rotations);
+  pm.add("drop-identities", passes::drop_identities);
+  return pm;
+}
+
+Circuit optimize(const Circuit& c, unsigned opt_level, OptReport* report) {
+  HISIM_CHECK_MSG(opt_level <= 1,
+                  "opt_level must be 0 (off) or 1 (default pipeline), got "
+                      << opt_level);
+  if (opt_level == 0) {
+    if (report) {
+      *report = OptReport{};
+      report->gates_before = report->gates_after = c.num_gates();
+    }
+    return c;
+  }
+  Circuit out = PassManager::default_pipeline().run(c, report);
+  if (report) report->opt_level = opt_level;
+  return out;
+}
+
+}  // namespace hisim

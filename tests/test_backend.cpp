@@ -17,6 +17,7 @@
 #include "dist/hisvsim_dist.hpp"
 #include "dist/iqs_baseline.hpp"
 #include "sv/simulator.hpp"
+#include "testing/random_circuits.hpp"
 
 namespace hisim::dist {
 namespace {
@@ -43,15 +44,7 @@ void scribble(DistState& st) {
 
 /// Random subset of at most n - p qubits (possibly empty).
 std::vector<Qubit> random_part(Rng& rng, unsigned n, unsigned p) {
-  const unsigned size = 1 + static_cast<unsigned>(rng.below(n - p));
-  std::vector<Qubit> part;
-  for (unsigned i = 0; i < size; ++i) {
-    const Qubit q = static_cast<Qubit>(rng.below(n));
-    bool dup = false;
-    for (Qubit seen : part) dup = dup || seen == q;
-    if (!dup) part.push_back(q);
-  }
-  return part;
+  return testutil::random_qubit_subset(rng, n, n - p);
 }
 
 TEST(BackendParity, RandomRedistributeChains) {

@@ -132,6 +132,23 @@ TEST(CliFlags, RejectsContradictoryTargetFlags) {
   EXPECT_THROW(effective_target(parse_flags({"--backend=threaded"})), Error);
 }
 
+TEST(CliFlags, OptLevelParsesAndFlowsToOptions) {
+  EXPECT_EQ(parse_flags({}).opt_level, 1u);
+  EXPECT_EQ(parse_flags({"--opt-level=0"}).opt_level, 0u);
+  EXPECT_EQ(parse_flags({"--opt-level=1"}).opt_level, 1u);
+  EXPECT_EQ(engine_options(parse_flags({"--opt-level=0"})).opt_level, 0u);
+  EXPECT_EQ(engine_options(parse_flags({})).opt_level, 1u);
+}
+
+TEST(CliFlags, OptLevelRejectsUnknownLevels) {
+  // Unknown levels are parse errors, not something for the engine to
+  // discover later — consistent with the loud-rejection flag policy.
+  EXPECT_THROW(parse_flags({"--opt-level=2"}), Error);
+  EXPECT_THROW(parse_flags({"--opt-level=7"}), Error);
+  EXPECT_THROW(parse_flags({"--opt-level=abc"}), Error);
+  EXPECT_THROW(parse_flags({"--opt-level="}), Error);
+}
+
 TEST(CliFlags, EngineOptionsRoundTrip) {
   const Options o = engine_options(
       parse_flags({"--ranks=8", "--backend=threaded", "--limit=10",

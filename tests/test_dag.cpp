@@ -4,6 +4,7 @@
 
 #include "circuits/generators.hpp"
 #include "common/rng.hpp"
+#include "testing/random_circuits.hpp"
 
 namespace hisim::dag {
 namespace {
@@ -66,6 +67,19 @@ TEST(CircuitDag, NaturalOrderIsTopological) {
   const Circuit c = circuits::qaoa(8, 2, 3);
   const CircuitDag d(c);
   EXPECT_TRUE(d.is_topological_gate_order(d.natural_order()));
+}
+
+TEST(CircuitDag, RandomCircuitsBuildConsistentDags) {
+  // A circuit's natural gate order is topological by construction, and
+  // the DAG's node count is gates + entry/exit pairs — over the shared
+  // random generator's whole alphabet (ccx/cswap included).
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Circuit c = testutil::random_circuit(6, 40, seed);
+    const CircuitDag d(c);
+    EXPECT_EQ(d.num_nodes(), c.num_gates() + 2u * 6u) << "seed " << seed;
+    EXPECT_TRUE(d.is_topological_gate_order(d.natural_order()))
+        << "seed " << seed;
+  }
 }
 
 TEST(CircuitDag, RandomDfsOrdersAreTopological) {

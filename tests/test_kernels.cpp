@@ -5,11 +5,13 @@
 #include <cmath>
 
 #include "common/bits.hpp"
-#include "common/rng.hpp"
 #include "sv/simulator.hpp"
+#include "testing/random_circuits.hpp"
 
 namespace hisim::sv {
 namespace {
+
+using testutil::random_state;
 
 /// Reference implementation: expand the gate to a full 2^n matrix via its
 /// local matrix and apply by dense mat-vec. O(4^n) — tiny n only.
@@ -35,19 +37,6 @@ StateVector apply_reference(const StateVector& in, const Gate& g) {
     out[row] = acc;
   }
   return out;
-}
-
-StateVector random_state(unsigned n, std::uint64_t seed) {
-  Rng rng(seed);
-  StateVector s(n);
-  double norm = 0.0;
-  for (Index i = 0; i < s.size(); ++i) {
-    s[i] = cplx(rng.uniform(-1, 1), rng.uniform(-1, 1));
-    norm += std::norm(s[i]);
-  }
-  const double inv = 1.0 / std::sqrt(norm);
-  for (Index i = 0; i < s.size(); ++i) s[i] *= inv;
-  return s;
 }
 
 std::vector<Gate> gates_under_test() {

@@ -11,38 +11,12 @@
 #include "partition/exact.hpp"
 #include "sv/hierarchical.hpp"
 #include "sv/simulator.hpp"
+#include "testing/random_circuits.hpp"
 
 namespace hisim {
 namespace {
 
-/// Random circuit over a mixed gate alphabet.
-Circuit random_circuit(unsigned n, std::size_t gates, std::uint64_t seed) {
-  Rng rng(seed);
-  Circuit c(n, "random");
-  for (std::size_t i = 0; i < gates; ++i) {
-    const Qubit a = static_cast<Qubit>(rng.below(n));
-    Qubit b = static_cast<Qubit>(rng.below(n));
-    while (b == a) b = static_cast<Qubit>(rng.below(n));
-    Qubit d = static_cast<Qubit>(rng.below(n));
-    while (d == a || d == b) d = static_cast<Qubit>(rng.below(n));
-    switch (rng.below(12)) {
-      case 0: c.add(Gate::h(a)); break;
-      case 1: c.add(Gate::x(a)); break;
-      case 2: c.add(Gate::rx(a, rng.uniform(0, 3.1))); break;
-      case 3: c.add(Gate::rz(a, rng.uniform(-3.1, 3.1))); break;
-      case 4: c.add(Gate::u3(a, rng.uniform(0, 3), rng.uniform(0, 3),
-                             rng.uniform(0, 3))); break;
-      case 5: c.add(Gate::cx(a, b)); break;
-      case 6: c.add(Gate::cz(a, b)); break;
-      case 7: c.add(Gate::cp(a, b, rng.uniform(-3, 3))); break;
-      case 8: c.add(Gate::swap(a, b)); break;
-      case 9: c.add(Gate::rzz(a, b, rng.uniform(-3, 3))); break;
-      case 10: c.add(Gate::ccx(a, b, d)); break;
-      case 11: c.add(Gate::cswap(a, b, d)); break;
-    }
-  }
-  return c;
-}
+using testutil::random_circuit;
 
 class RandomCircuits : public ::testing::TestWithParam<std::uint64_t> {};
 

@@ -6,43 +6,23 @@
 
 #include "circuits/generators.hpp"
 #include "common/rng.hpp"
+#include "hisvsim/engine.hpp"
+#include "opt/pass_manager.hpp"
 #include "qasm/parser.hpp"
 #include "qasm/writer.hpp"
 #include "sv/simulator.hpp"
+#include "testing/random_circuits.hpp"
 
 namespace hisim::qasm {
 namespace {
 
 Circuit random_qelib_circuit(unsigned n, std::size_t gates,
-                             std::uint64_t seed) {
-  Rng rng(seed);
-  Circuit c(n, "fuzz");
-  for (std::size_t i = 0; i < gates; ++i) {
-    const Qubit a = static_cast<Qubit>(rng.below(n));
-    Qubit b = static_cast<Qubit>(rng.below(n));
-    while (b == a) b = static_cast<Qubit>(rng.below(n));
-    Qubit d = static_cast<Qubit>(rng.below(n));
-    while (d == a || d == b) d = static_cast<Qubit>(rng.below(n));
-    const double th = rng.uniform(-3.14, 3.14);
-    switch (rng.below(16)) {
-      case 0: c.add(Gate::h(a)); break;
-      case 1: c.add(Gate::x(a)); break;
-      case 2: c.add(Gate::y(a)); break;
-      case 3: c.add(Gate::sdg(a)); break;
-      case 4: c.add(Gate::t(a)); break;
-      case 5: c.add(Gate::rx(a, th)); break;
-      case 6: c.add(Gate::ry(a, th)); break;
-      case 7: c.add(Gate::u2(a, th, -th)); break;
-      case 8: c.add(Gate::u3(a, th, th / 2, -th)); break;
-      case 9: c.add(Gate::cx(a, b)); break;
-      case 10: c.add(Gate::cz(a, b)); break;
-      case 11: c.add(Gate::ch(a, b)); break;
-      case 12: c.add(Gate::crz(a, b, th)); break;
-      case 13: c.add(Gate::cu3(a, b, th, -th, th / 3)); break;
-      case 14: c.add(Gate::swap(a, b)); break;
-      case 15: c.add(Gate::ccx(a, b, d)); break;
-    }
-  }
+                             std::uint64_t seed,
+                             const testutil::CircuitKnobs& extra = {}) {
+  testutil::CircuitKnobs knobs = extra;
+  knobs.qasm_safe = true;
+  Circuit c = testutil::random_circuit(n, gates, seed, knobs);
+  c.set_name("fuzz");
   return c;
 }
 
@@ -62,6 +42,42 @@ TEST_P(QasmFuzz, WriteParseSimulateIdentical) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, QasmFuzz,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+class QasmOptFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+// The optimizer's output must survive the QASM path: every gate the
+// passes emit (or merge into existence — e.g. summed rotation angles)
+// must be writable, re-parseable, and recompile to an equivalent plan.
+// The knobs plant cancellations and identity angles so the pipeline
+// actually fires on most seeds.
+TEST_P(QasmOptFuzz, OptimizedCircuitsRoundTripAndRecompile) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed * 31 + 5);
+  const unsigned n = 4 + static_cast<unsigned>(rng.below(4));
+  testutil::CircuitKnobs knobs;
+  knobs.duplicate_prob = 0.3;
+  knobs.trivial_angle_prob = 0.15;
+  const Circuit c =
+      random_qelib_circuit(n, 40 + rng.below(30), seed * 7 + 1, knobs);
+  const Circuit opt = optimize(c, 1);
+  const Circuit back = parse(write(opt));  // writer must accept all of opt
+  EXPECT_EQ(back.num_gates(), opt.num_gates()) << "seed " << seed;
+  sv::FlatSimulator sim;
+  const sv::StateVector ref = sim.simulate(c);
+  // Optimization preserves the state up to a global phase; the QASM
+  // round-trip itself is exact up to angle-printing precision.
+  EXPECT_LT(testutil::max_abs_diff_up_to_phase(ref, sim.simulate(back)),
+            1e-9)
+      << "seed " << seed;
+  // Recompiling the parsed text re-runs the default pipeline on its own
+  // output plus anything printing exposed — still the same state.
+  const Result r = Engine::compile(back, Options{}).execute();
+  EXPECT_LT(testutil::max_abs_diff_up_to_phase(ref, r.state), 1e-9)
+      << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, QasmOptFuzz,
                          ::testing::Range<std::uint64_t>(1, 26));
 
 TEST(QasmSuiteRoundTrip, AllBenchmarkFamilies) {

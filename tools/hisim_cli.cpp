@@ -3,6 +3,7 @@
 //   hisim run <circuit|file.qasm> [--qubits=N] [--limit=L]
 //         [--strategy=dagp|dfs|nat] [--ranks=R] [--level2=L2]
 //         [--backend=serial|threaded] [--target=T] [--shots=S] [--json]
+//         [--opt-level=0|1]
 //         [--bind name=value]... [--sweep name=start:stop:steps]...
 //         [--observable=PAULI]... [--noise kind=p]... [--trajectories=N]
 //         [--noise-seed=S]
@@ -15,6 +16,10 @@
 // repeated-gate/idle noise-calibration circuit), or a path ending in
 // .qasm.
 // --ranks must be a power of two (R = 2^p simulated processes).
+// --opt-level selects the compile-time circuit optimizer: 1 (default)
+// runs the canonicalization pipeline before partitioning, 0 compiles the
+// circuit exactly as written; --json reports "gates_pre_opt" and the
+// per-pass "opt_passes" removal counts alongside the compiled "gates".
 // --target is one of flat, hierarchical, multilevel, distributed-serial,
 // distributed-threaded, iqs-baseline; when omitted it is derived from
 // --ranks / --level2 / --backend.
