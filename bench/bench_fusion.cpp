@@ -16,15 +16,21 @@ int main(int argc, char** argv) {
   const auto args = bench::parse_args(argc, argv);
 
   std::printf("== Fusion x partitioning ablation (single node) ==\n\n");
-  bench::print_row({"circuit", "gates", "fused", "flat(s)", "flat+f(s)",
-                    "hier(s)", "hier+f(s)", "parts"},
-                   {10, 7, 7, 9, 10, 9, 10, 6});
+  bench::print_row({"circuit", "gates", "fus2", "fused", "flat(s)",
+                    "flat+f2(s)", "flat+f(s)", "hier(s)", "hier+f(s)",
+                    "parts"},
+                   {10, 7, 7, 7, 9, 11, 10, 9, 10, 6});
 
   for (const auto& e : bench::scaled_suite(args)) {
     const Circuit& c = e.circuit;
     FusionOptions fo;
     fo.max_qubits = 3;
     const Circuit fused = fuse(c, fo);
+    // The k=2 arm: every multi-gate run is a 4x4 block, the shape the
+    // dispatch layer's dedicated two-qubit kernel consumes whole.
+    FusionOptions fo2;
+    fo2.max_qubits = 2;
+    const Circuit fused2 = fuse(c, fo2);
 
     sv::FlatSimulator flat;
     Timer t1;
@@ -33,6 +39,9 @@ int main(int argc, char** argv) {
     Timer t2;
     { sv::StateVector s(c.num_qubits()); flat.run(fused, s); }
     const double flat_fused_s = t2.seconds();
+    Timer t2b;
+    { sv::StateVector s(c.num_qubits()); flat.run(fused2, s); }
+    const double flat_fused2_s = t2b.seconds();
 
     const unsigned limit = c.num_qubits() - 4;
     partition::PartitionOptions opt;
@@ -52,11 +61,13 @@ int main(int argc, char** argv) {
     const double hier_fused_s = t4.seconds();
 
     bench::print_row({e.meta.name, std::to_string(c.num_gates()),
+                      std::to_string(fused2.num_gates()),
                       std::to_string(fused.num_gates()),
-                      bench::fmt(flat_s, 3), bench::fmt(flat_fused_s, 3),
+                      bench::fmt(flat_s, 3), bench::fmt(flat_fused2_s, 3),
+                      bench::fmt(flat_fused_s, 3),
                       bench::fmt(hier_s, 3), bench::fmt(hier_fused_s, 3),
                       std::to_string(p2.num_parts())},
-                     {10, 7, 7, 9, 10, 9, 10, 6});
+                     {10, 7, 7, 7, 9, 11, 10, 9, 10, 6});
   }
   std::printf("\nexpected: fusion cuts gate counts ~2-4x and speeds both "
               "paths; partitioning benefits are preserved (orthogonality, "

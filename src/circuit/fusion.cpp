@@ -51,6 +51,15 @@ Matrix embed_unitary(const Gate& gate, const std::vector<Qubit>& support) {
 
 namespace {
 
+/// One open accumulation window: gate indices in program order plus the
+/// union of their supports. Open runs always have pairwise-disjoint
+/// supports, so emitting one while others stay open only reorders gates
+/// that commute (they act on disjoint qubits).
+struct Run {
+  std::vector<std::size_t> gates;
+  std::set<Qubit> support;
+};
+
 /// Emits one fused gate (or the original when the run has length 1).
 void flush_run(Circuit& out, const Circuit& in,
                const std::vector<std::size_t>& run,
@@ -67,6 +76,17 @@ void flush_run(Circuit& out, const Circuit& in,
   out.add(Gate::unitary(support, std::move(total)));
 }
 
+/// Flushes every open run in first-gate order (the deterministic
+/// canonical order; any order is equivalent because supports are
+/// disjoint) and clears the list.
+void flush_all(Circuit& out, const Circuit& in, std::vector<Run>& runs) {
+  std::sort(runs.begin(), runs.end(), [](const Run& a, const Run& b) {
+    return a.gates.front() < b.gates.front();
+  });
+  for (const Run& r : runs) flush_run(out, in, r.gates, r.support);
+  runs.clear();
+}
+
 }  // namespace
 
 Circuit fuse(const Circuit& c, const FusionOptions& opt) {
@@ -75,8 +95,7 @@ Circuit fuse(const Circuit& c, const FusionOptions& opt) {
   // Re-registering in order preserves parameter ids, so symbolic gates
   // pass through with their expressions intact.
   for (const std::string& p : c.param_names()) out.param(p);
-  std::vector<std::size_t> run;
-  std::set<Qubit> support;
+  std::vector<Run> runs;
   for (std::size_t i = 0; i < c.num_gates(); ++i) {
     const Gate& g = c.gate(i);
     // The arity policy applies to symbolic gates too (a wide symbolic
@@ -84,39 +103,69 @@ Circuit fuse(const Circuit& c, const FusionOptions& opt) {
     if (g.arity() > opt.max_qubits) {
       HISIM_CHECK_MSG(opt.keep_wide_gates,
                       "gate wider than fusion limit: " << g.to_string());
-      flush_run(out, c, run, support);
-      run.clear();
-      support.clear();
+      flush_all(out, c, runs);
       out.add(g);
       continue;
     }
     if (g.is_parametric() || g.kind == GateKind::NoiseSlot) {
       // A symbolic gate has no materializable unitary at fusion time; it
-      // breaks the current run and passes through for bind-at-execute
+      // breaks every open run and passes through for bind-at-execute
       // materialization. Fusing it into a dense Unitary here would bake in
       // angle values and defeat the one-plan/many-bindings contract.
       // A reserved noise slot likewise passes through intact: fusing its
       // (currently identity) matrix into a neighbour would erase the
       // insertion point trajectories substitute sampled operators into.
-      flush_run(out, c, run, support);
-      run.clear();
-      support.clear();
+      // All runs flush (not just overlapping ones) so no fused block is
+      // hoisted across a barrier it might not commute with at bind time.
+      flush_all(out, c, runs);
       out.add(g);
       continue;
     }
-    std::set<Qubit> merged = support;
-    merged.insert(g.qubits.begin(), g.qubits.end());
-    if (merged.size() > opt.max_qubits) {
-      flush_run(out, c, run, support);
-      run.clear();
-      support.clear();
-      support.insert(g.qubits.begin(), g.qubits.end());
+    // Runs whose support the gate touches. Zero -> open a new run; one or
+    // more -> the gate bridges them: merge if the combined support still
+    // fits, otherwise flush the touched runs and start fresh. Untouched
+    // runs stay open either way — that is what lets interleaved disjoint
+    // streams (h 0; h 2; h 1; cx 0 1; ...) each reach a full-width block
+    // instead of cutting each other's windows short.
+    std::vector<std::size_t> touched;
+    for (std::size_t r = 0; r < runs.size(); ++r)
+      for (Qubit q : g.qubits)
+        if (runs[r].support.count(q)) {
+          touched.push_back(r);
+          break;
+        }
+    std::set<Qubit> merged(g.qubits.begin(), g.qubits.end());
+    for (std::size_t r : touched)
+      merged.insert(runs[r].support.begin(), runs[r].support.end());
+    if (merged.size() <= opt.max_qubits) {
+      // Merge the touched runs into the first one; gate order inside the
+      // merged run is by original index (runs were disjoint until now, so
+      // only the relative order within each original run constrains the
+      // product — ascending index respects all of them).
+      Run next;
+      next.support = std::move(merged);
+      for (std::size_t r : touched)
+        next.gates.insert(next.gates.end(), runs[r].gates.begin(),
+                          runs[r].gates.end());
+      next.gates.push_back(i);
+      std::sort(next.gates.begin(), next.gates.end());
+      for (std::size_t t = touched.size(); t-- > 0;)
+        runs.erase(runs.begin() + static_cast<std::ptrdiff_t>(touched[t]));
+      runs.push_back(std::move(next));
     } else {
-      support = std::move(merged);
+      std::vector<Run> blocked;
+      for (std::size_t t = touched.size(); t-- > 0;) {
+        blocked.push_back(std::move(runs[touched[t]]));
+        runs.erase(runs.begin() + static_cast<std::ptrdiff_t>(touched[t]));
+      }
+      flush_all(out, c, blocked);
+      Run fresh;
+      fresh.gates.push_back(i);
+      fresh.support.insert(g.qubits.begin(), g.qubits.end());
+      runs.push_back(std::move(fresh));
     }
-    run.push_back(i);
   }
-  flush_run(out, c, run, support);
+  flush_all(out, c, runs);
   return out;
 }
 

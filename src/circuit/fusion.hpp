@@ -4,16 +4,22 @@
 
 namespace hisim {
 
-/// Gate fusion: merges *consecutive* gates whose combined qubit support
-/// stays within `max_qubits` into single dense Unitary gates. The paper
-/// positions HiSVSIM as orthogonal to gate fusion (Sec. II-C); this pass
-/// lets the ablation benches demonstrate that claim — fusion shrinks the
-/// gate count each part executes, partitioning still decides the memory
+/// Gate fusion: merges gates whose combined qubit support stays within
+/// `max_qubits` into single dense Unitary gates. The paper positions
+/// HiSVSIM as orthogonal to gate fusion (Sec. II-C); this pass lets the
+/// ablation benches demonstrate that claim — fusion shrinks the gate
+/// count each part executes, partitioning still decides the memory
 /// movement.
 ///
-/// Only adjacency in program order is exploited (no commutation analysis),
-/// so the result is trivially equivalent: it applies the same operator
-/// product. Runs of length one are left as the original gate.
+/// The pass keeps *multiple* accumulation runs open at once, with
+/// pairwise-disjoint supports; a gate joins (and may bridge-merge) the
+/// runs it touches while unrelated runs stay open. The only reordering
+/// this introduces is between gates on disjoint qubit sets, which
+/// commute, so the result applies the same operator product — no general
+/// commutation analysis is ever consulted. Runs of length one are left
+/// as the original gate. With max_qubits = 2 every multi-gate run
+/// becomes a 4x4 block, the shape the apply layer's dedicated two-qubit
+/// kernel is built for (sv/kernel_dispatch.hpp).
 ///
 /// Symbolic (parameterized) gates have no materializable unitary at fusion
 /// time; they act as run barriers and pass through unchanged, keeping the

@@ -108,7 +108,10 @@ DistPlan compile_plan(const Circuit& c, const DistOptions& opt,
 DistRunReport execute_plan(const DistPlan& plan, DistState& state,
                            const NetworkModel& net, CommBackend* backend_ptr,
                            std::span<const double> param_values,
-                           std::span<const Gate> noise_ops) {
+                           std::span<const Gate> noise_ops,
+                           const sv::KernelOps* kernels) {
+  const sv::KernelOps& kops =
+      kernels != nullptr ? *kernels : sv::kernel_ops();
   const unsigned n = plan.num_qubits;
   const unsigned p = plan.process_qubits;
   HISIM_CHECK_MSG(state.num_qubits() == n && state.num_ranks() == (1u << p),
@@ -181,12 +184,12 @@ DistRunReport execute_plan(const DistPlan& plan, DistState& state,
             const double t0 = wall.seconds();
             if (step.inner.num_parts() == 0) {
               for (const Gate& g : local.gates())
-                sv::apply_gate(state.local(rank), g);
+                sv::apply_gate(state.local(rank), g, kops);
             } else {
               sv::HierarchicalStats scratch;  // per-rank: run_part mutates it
               for (const partition::Part& ip : step.inner.parts)
                 sv::run_part(local, ip.gates, ip.qubits,
-                             state.local(rank), scratch);
+                             state.local(rank), scratch, &kops);
             }
             const double t1 = wall.seconds();
             std::lock_guard lk(comp_mu);

@@ -8,6 +8,7 @@
 #include "dist/backend.hpp"
 #include "dist/dist_state.hpp"
 #include "partition/partition.hpp"
+#include "sv/kernel_dispatch.hpp"
 
 namespace hisim::dist {
 
@@ -161,11 +162,15 @@ DistPlan compile_plan(const Circuit& c, const DistOptions& opt,
 /// single-qubit on a slot the plan already made local, the exchange
 /// schedule is byte-identical to the ideal run. Empty = ideal execution
 /// (slots apply as identities).
+///
+/// `kernels` selects the apply-kernel tier for every shard-local gate
+/// (nullptr = the Auto-resolved default; see sv/kernel_dispatch.hpp).
 DistRunReport execute_plan(const DistPlan& plan, DistState& state,
                            const NetworkModel& net,
                            CommBackend* backend = nullptr,
                            std::span<const double> param_values = {},
-                           std::span<const Gate> noise_ops = {});
+                           std::span<const Gate> noise_ops = {},
+                           const sv::KernelOps* kernels = nullptr);
 
 /// The paper's distributed hierarchical simulator (Sec. V), executed on
 /// simulated ranks: partition the circuit so every part fits in one

@@ -56,7 +56,10 @@ bool is_identity(const Matrix& m) {
 
 IqsRunReport IqsBaselineSimulator::run(const Circuit& c, DistState& state,
                                        const NetworkModel& net,
-                                       CommBackend* backend_ptr) const {
+                                       CommBackend* backend_ptr,
+                                       const sv::KernelOps* kernels) const {
+  const sv::KernelOps& kops =
+      kernels != nullptr ? *kernels : sv::kernel_ops();
   const unsigned n = c.num_qubits();
   HISIM_CHECK(state.num_qubits() == n);
   const unsigned l = state.layout().local_qubits();
@@ -80,7 +83,7 @@ IqsRunReport IqsBaselineSimulator::run(const Circuit& c, DistState& state,
       // Shards are independent — one backend group per rank.
       compute.start();
       backend.run_groups(v, [&](std::size_t r) {
-        sv::apply_gate(state.local(static_cast<unsigned>(r)), g);
+        sv::apply_gate(state.local(static_cast<unsigned>(r)), g, kops);
       });
       compute.stop();
       continue;
@@ -117,7 +120,8 @@ IqsRunReport IqsBaselineSimulator::run(const Circuit& c, DistState& state,
           // kraus(): restrictions of trajectory-sampled Kraus operators
           // are not unitary; for unitary gates this is the same matrix
           // the unitary() path would have carried.
-          sv::apply_gate(state.local(r), Gate::kraus(local_ops, sub));
+          sv::apply_gate(state.local(r), Gate::kraus(local_ops, sub),
+                         kops);
         }
       });
       compute.stop();
@@ -178,7 +182,7 @@ IqsRunReport IqsBaselineSimulator::run(const Circuit& c, DistState& state,
         const sv::StateVector& shard = state.local(members[gb]);
         for (Index i = 0; i < ldim; ++i) combined[(gb << l) | i] = shard[i];
       }
-      sv::apply_gate(combined, Gate::kraus(ops, sub));
+      sv::apply_gate(combined, Gate::kraus(ops, sub), kops);
       for (Index gb = 0; gb < groups; ++gb) {
         sv::StateVector& shard = state.local(members[gb]);
         for (Index i = 0; i < ldim; ++i) shard[i] = combined[(gb << l) | i];

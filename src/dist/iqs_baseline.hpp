@@ -3,6 +3,7 @@
 #include "circuit/circuit.hpp"
 #include "dist/backend.hpp"
 #include "dist/dist_state.hpp"
+#include "sv/kernel_dispatch.hpp"
 
 namespace hisim::dist {
 
@@ -43,10 +44,12 @@ class IqsBaselineSimulator {
   /// when comparing the two on a non-default interconnect. Rank-local
   /// work and the pairwise exchange groups (which touch disjoint shard
   /// sets) execute through `backend` (nullptr = serial_backend()); the
-  /// resulting state and CommStats are backend-independent.
+  /// resulting state and CommStats are backend-independent. `kernels`
+  /// selects the apply-kernel tier (nullptr = the Auto-resolved default).
   IqsRunReport run(const Circuit& c, DistState& state,
                    const NetworkModel& net = {},
-                   CommBackend* backend = nullptr) const;
+                   CommBackend* backend = nullptr,
+                   const sv::KernelOps* kernels = nullptr) const;
 };
 
 }  // namespace hisim::dist

@@ -186,6 +186,8 @@ Flags parse_flags(const std::vector<std::string>& args) {
     } else if (const char* v = val("--target=")) {
       f.target = parse_target(v);
       f.has_target = true;
+    } else if (const char* v = val("--kernel=")) {
+      f.kernel = sv::parse_kernel_tier(v);
     } else if (a == "--json") {
       f.json = true;
     } else if (a == "--exact") {
@@ -319,6 +321,7 @@ Options engine_options(const Flags& f) {
   o.limit = f.limit;
   o.opt_level = f.opt_level;
   o.level2_limit = f.level2;
+  o.kernel_tier = f.kernel;
   o.process_qubits = f.ranks_p;
   o.noise = noise_model(f);
   return o;

@@ -7,6 +7,7 @@
 #include "hisvsim/engine.hpp"
 #include "noise/noise_model.hpp"
 #include "partition/partition.hpp"
+#include "sv/kernel_dispatch.hpp"
 
 /// Flag parsing for the `hisim` CLI, factored into the library so it is
 /// unit-testable (tests/test_cli_flags.cpp) and throws hisim::Error with
@@ -32,6 +33,10 @@ struct Flags {
   /// which (matching the old CLI) means single-node execution.
   unsigned ranks_p = 0;
   unsigned level2 = 0;
+  /// Apply-kernel tier (--kernel=auto|scalar|simd); matches
+  /// Options::kernel_tier. Unknown names are rejected at parse time,
+  /// simd on a host without the SIMD build/CPU support fails at compile.
+  sv::KernelTier kernel = sv::KernelTier::Auto;
   std::size_t shots = 0;
   bool json = false;
   bool exact = false;

@@ -72,6 +72,11 @@ struct PlanImpl {
   /// Gate-count accounting of the compile-time optimization pipeline
   /// (all-zero removals when compiled at opt_level 0).
   OptReport opt_report;
+  /// Kernel tier resolved once at compile from Options::kernel_tier —
+  /// points at an immutable static table, so shared plans stay
+  /// thread-safe and a forced-but-unavailable tier fails at compile
+  /// instead of mid-execution.
+  const sv::KernelOps* kernels = nullptr;
   unsigned effective_limit = 0;
   unsigned effective_level2 = 0;
   double compile_seconds = 0.0;
@@ -217,6 +222,7 @@ std::string Result::to_json() const {
   json_str(os, first, "strategy", partition::strategy_name(strategy));
   json_int(os, first, "opt_level", opt_level);
   json_int(os, first, "gates_pre_opt", gates_pre_opt);
+  json_str(os, first, "kernel", kernel);
   if (!opt_passes.empty()) {
     // Per-pass removed-gate counts, pipeline order ("gates_pre_opt" minus
     // the sum of these is "gates").
@@ -283,6 +289,10 @@ const Options& ExecutionPlan::options() const {
   return impl_->opt;
 }
 Target ExecutionPlan::target() const { return options().target; }
+sv::KernelTier ExecutionPlan::kernel_tier() const {
+  HISIM_CHECK_MSG(impl_, "empty ExecutionPlan");
+  return impl_->kernels->tier;
+}
 const Circuit& ExecutionPlan::circuit() const {
   HISIM_CHECK_MSG(impl_, "empty ExecutionPlan");
   return impl_->executed_circuit();
@@ -332,6 +342,9 @@ ExecutionPlan Engine::compile(const Circuit& c) const {
   Timer compile_timer;
   auto impl = std::make_shared<PlanImpl>();
   impl->opt = opt_;
+  // Resolve the kernel tier up front: a forced-but-unavailable tier must
+  // fail here, not on a worker thread mid-execute.
+  impl->kernels = &sv::kernel_ops(opt_.kernel_tier);
   // Noise instrumentation happens before any structural work: the
   // reserved slots are ordinary (identity) gates of the circuit every
   // downstream artifact — DAG, partitioning, lowering, the exchange
@@ -506,6 +519,7 @@ Result ExecutionPlan::execute_impl(const ExecOptions& opts,
   r.opt_level = opt.opt_level;
   r.gates_pre_opt = plan.opt_report.gates_before;
   r.opt_passes = plan.opt_report.deltas;
+  r.kernel = plan.kernels->name;
   r.parts = plan.parts;
   r.inner_parts = plan.inner_parts;
   r.ranks = plan.ranks;
@@ -527,7 +541,7 @@ Result ExecutionPlan::execute_impl(const ExecOptions& opts,
     switch (opt.target) {
       case Target::Flat: {
         Timer t;
-        sv::FlatSimulator().run(c, state);
+        sv::FlatSimulator().run(c, state, plan.kernels);
         r.apply_seconds = t.seconds();
         break;
       }
@@ -535,8 +549,10 @@ Result ExecutionPlan::execute_impl(const ExecOptions& opts,
       case Target::Multilevel: {
         const sv::HierarchicalStats stats =
             opt.target == Target::Hierarchical
-                ? sv::HierarchicalSimulator().run(c, plan.single, state)
-                : sv::HierarchicalSimulator().run(c, plan.two, state);
+                ? sv::HierarchicalSimulator().run(c, plan.single, state,
+                                                  plan.kernels)
+                : sv::HierarchicalSimulator().run(c, plan.two, state, 0,
+                                                  plan.kernels);
         r.gather_seconds = stats.gather_seconds;
         r.apply_seconds = stats.execute_seconds;
         r.scatter_seconds = stats.scatter_seconds;
@@ -553,14 +569,15 @@ Result ExecutionPlan::execute_impl(const ExecOptions& opts,
     if (opts.initial_state) load_initial(st, *opts.initial_state);
     if (opt.target == Target::IqsBaseline) {
       const dist::IqsRunReport ir =
-          dist::IqsBaselineSimulator().run(c, st, opts.net);
+          dist::IqsBaselineSimulator().run(c, st, opts.net, nullptr,
+                                           plan.kernels);
       r.compute_seconds = ir.compute_seconds;
       r.comm = ir.comm;
     } else {
       const dist::DistRunReport dr =
           dist::execute_plan(plan.dplan, st, opts.net,
                              backend_for_target(opt.target), param_values,
-                             noise_ops);
+                             noise_ops, plan.kernels);
       r.compute_seconds = dr.compute_seconds;
       r.comm = dr.comm;
       r.part_times = dr.part_times;

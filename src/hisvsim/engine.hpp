@@ -14,6 +14,7 @@
 #include "noise/noise_model.hpp"
 #include "opt/pass_manager.hpp"
 #include "partition/partition.hpp"
+#include "sv/kernel_dispatch.hpp"
 #include "sv/observables.hpp"
 #include "sv/state_vector.hpp"
 
@@ -92,6 +93,14 @@ struct Options {
   /// unbound symbolic gates are barriers, so noisy and parameterized plans
   /// keep their structure regardless of level. Anything > 1 throws.
   unsigned opt_level = 1;
+  /// Apply-kernel tier for every gate execution under this plan (see
+  /// sv/kernel_dispatch.hpp). Auto resolves once at compile to SIMD when
+  /// the binary and CPU support it (overridable via the HISIM_KERNEL
+  /// environment variable), Scalar otherwise; forcing Simd on a host
+  /// without AVX2 makes compile() throw. All tiers agree within strict
+  /// rounding equivalence, so this is a performance knob, not a
+  /// correctness one.
+  sv::KernelTier kernel_tier = sv::KernelTier::Auto;
   /// Noise model compiled into the plan: identity "noise slots" are
   /// reserved in the circuit structure after every matching gate, so
   /// partitioning, lowering, and the exchange schedule account for them
@@ -143,6 +152,8 @@ struct Result {
   std::size_t gates_pre_opt = 0;   // before optimization (== gates at 0)
   /// Per-pass removed-gate counts, pipeline order; empty at opt_level 0.
   std::vector<PassDelta> opt_passes;
+  /// Resolved kernel tier the run executed with ("scalar" | "simd").
+  std::string kernel;
 
   // -- compile side (copied from the plan; identical every execution) -
   std::size_t parts = 0;
@@ -326,6 +337,9 @@ class ExecutionPlan {
   bool parameterized() const { return !param_names().empty(); }
   const Options& options() const;
   Target target() const;
+  /// The kernel tier the plan resolved at compile time — never Auto:
+  /// always the concrete Scalar or Simd table every execute() will use.
+  sv::KernelTier kernel_tier() const;
   /// The circuit as executed (optimized per Options::opt_level, lowered
   /// when wide gates required it).
   const Circuit& circuit() const;

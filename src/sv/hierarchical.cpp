@@ -27,7 +27,8 @@ std::vector<Gate> remap_gates(const Circuit& c,
 
 void run_part(const Circuit& c, std::span<const std::size_t> gates,
               std::span<const Qubit> part_qubits, StateVector& outer,
-              HierarchicalStats& stats) {
+              HierarchicalStats& stats, const KernelOps* ops) {
+  const KernelOps& kops = ops != nullptr ? *ops : kernel_ops();
   const unsigned n = outer.num_qubits();
   const unsigned w = static_cast<unsigned>(part_qubits.size());
   HISIM_CHECK(w <= n);
@@ -59,7 +60,7 @@ void run_part(const Circuit& c, std::span<const std::size_t> gates,
     for (Index t = 0; t < kdim; ++t) in_a[t] = out_a[base | offset[t]];
     gather_sw.stop();
     exec_sw.start();
-    for (const Gate& g : inner_gates) apply_gate(inner, g);
+    for (const Gate& g : inner_gates) apply_gate(inner, g, kops);
     exec_sw.stop();
     scatter_sw.start();
     for (Index t = 0; t < kdim; ++t) out_a[base | offset[t]] = in_a[t];
@@ -80,17 +81,17 @@ void run_part(const Circuit& c, std::span<const std::size_t> gates,
 
 HierarchicalStats HierarchicalSimulator::run(
     const Circuit& c, const partition::Partitioning& parts,
-    StateVector& state) const {
+    StateVector& state, const KernelOps* ops) const {
   HISIM_CHECK(state.num_qubits() == c.num_qubits());
   HierarchicalStats stats;
   for (const partition::Part& p : parts.parts)
-    run_part(c, p.gates, p.qubits, state, stats);
+    run_part(c, p.gates, p.qubits, state, stats, ops);
   return stats;
 }
 
 HierarchicalStats HierarchicalSimulator::run(
     const Circuit& c, const partition::TwoLevelPartitioning& parts,
-    StateVector& state, unsigned pad_to) const {
+    StateVector& state, unsigned pad_to, const KernelOps* ops) const {
   HISIM_CHECK(state.num_qubits() == c.num_qubits());
   const unsigned n = c.num_qubits();
   HierarchicalStats stats;
@@ -157,7 +158,8 @@ HierarchicalStats HierarchicalSimulator::run(
       gather_sw.stop();
       exec_sw.start();
       for (const InnerPart& ip : inner_parts)
-        run_part(inner_circuit, ip.gates, ip.qubits, inner, inner_stats);
+        run_part(inner_circuit, ip.gates, ip.qubits, inner, inner_stats,
+                 ops);
       exec_sw.stop();
       scatter_sw.start();
       for (Index t = 0; t < kdim; ++t) out_a[base | offset[t]] = in_a[t];

@@ -2,6 +2,7 @@
 
 #include "partition/multilevel.hpp"
 #include "partition/partition.hpp"
+#include "sv/kernel_dispatch.hpp"
 #include "sv/state_vector.hpp"
 
 namespace hisim::sv {
@@ -32,9 +33,12 @@ struct HierarchicalStats {
 class HierarchicalSimulator {
  public:
   /// Single-level run. `parts` must be a valid partitioning of `c`.
+  /// `ops` selects the kernel tier for the inner applies (nullptr = the
+  /// Auto-resolved default).
   HierarchicalStats run(const Circuit& c,
                         const partition::Partitioning& parts,
-                        StateVector& state) const;
+                        StateVector& state,
+                        const KernelOps* ops = nullptr) const;
 
   /// Two-level run (Sec. IV multi-level): level-1 parts are gathered from
   /// the outer vector; each level-2 part is gathered from the level-1
@@ -44,7 +48,8 @@ class HierarchicalSimulator {
   /// locality (0 disables).
   HierarchicalStats run(const Circuit& c,
                         const partition::TwoLevelPartitioning& parts,
-                        StateVector& state, unsigned pad_to = 0) const;
+                        StateVector& state, unsigned pad_to = 0,
+                        const KernelOps* ops = nullptr) const;
 
   StateVector simulate(const Circuit& c,
                        const partition::Partitioning& parts,
@@ -57,6 +62,6 @@ class HierarchicalSimulator {
 /// runner and the distributed executor.
 void run_part(const Circuit& c, std::span<const std::size_t> gates,
               std::span<const Qubit> part_qubits, StateVector& outer,
-              HierarchicalStats& stats);
+              HierarchicalStats& stats, const KernelOps* ops = nullptr);
 
 }  // namespace hisim::sv

@@ -1,0 +1,81 @@
+#include "sv/kernel_dispatch.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace hisim::sv {
+
+// Defined in kernels_avx2.cpp; nullptr when the TU was built without
+// AVX2 support.
+const KernelOps* avx2_kernel_ops_or_null();
+
+KernelTier parse_kernel_tier(const std::string& name) {
+  if (name == "auto") return KernelTier::Auto;
+  if (name == "scalar") return KernelTier::Scalar;
+  if (name == "simd") return KernelTier::Simd;
+  throw Error("unknown kernel tier '" + name +
+              "' (expected auto | scalar | simd)");
+}
+
+const char* kernel_tier_name(KernelTier tier) {
+  switch (tier) {
+    case KernelTier::Auto: return "auto";
+    case KernelTier::Scalar: return "scalar";
+    case KernelTier::Simd: return "simd";
+  }
+  return "?";
+}
+
+bool simd_kernels_available() {
+  static const bool available = [] {
+    if (avx2_kernel_ops_or_null() == nullptr) return false;
+#if defined(__x86_64__) || defined(__i386__)
+    return static_cast<bool>(__builtin_cpu_supports("avx2"));
+#else
+    return false;
+#endif
+  }();
+  return available;
+}
+
+namespace {
+
+const KernelOps& simd_ops_checked() {
+  HISIM_CHECK_MSG(simd_kernels_available(),
+                  "simd kernel tier unavailable: " +
+                      std::string(avx2_kernel_ops_or_null() == nullptr
+                                      ? "binary built without AVX2 kernels"
+                                      : "CPU does not support AVX2") +
+                      " (use --kernel=scalar or auto)");
+  return *avx2_kernel_ops_or_null();
+}
+
+/// Auto resolution: HISIM_KERNEL env override when set, else the best
+/// available tier. Resolved once — the choice must not change mid-run.
+const KernelOps& auto_ops() {
+  static const KernelOps& ops = []() -> const KernelOps& {
+    if (const char* env = std::getenv("HISIM_KERNEL");
+        env != nullptr && *env != '\0') {
+      const KernelTier forced = parse_kernel_tier(env);
+      if (forced == KernelTier::Scalar) return scalar_kernel_ops();
+      if (forced == KernelTier::Simd) return simd_ops_checked();
+    }
+    return simd_kernels_available() ? *avx2_kernel_ops_or_null()
+                                    : scalar_kernel_ops();
+  }();
+  return ops;
+}
+
+}  // namespace
+
+const KernelOps& kernel_ops(KernelTier tier) {
+  switch (tier) {
+    case KernelTier::Scalar: return scalar_kernel_ops();
+    case KernelTier::Simd: return simd_ops_checked();
+    case KernelTier::Auto: break;
+  }
+  return auto_ops();
+}
+
+}  // namespace hisim::sv

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <array>
+#include <utility>
+#include <vector>
 
 #include "common/bits.hpp"
 #include "common/parallel.hpp"
@@ -9,71 +11,86 @@
 namespace hisim::sv {
 namespace {
 
-/// Single-qubit 2x2 kernel: enumerate pairs (i0, i1 = i0 | 2^q).
-void apply_1q(StateVector& s, Qubit q, const Matrix& u) {
-  const cplx u00 = u(0, 0), u01 = u(0, 1), u10 = u(1, 0), u11 = u(1, 1);
-  const Index half = s.size() >> 1;
+/// Spread compact index m over the complement of `sorted_bits` (ascending
+/// zero-insertion) — enumerates only the touched subset of bases.
+Index spread(Index m, std::span<const Qubit> sorted_bits) {
+  for (Qubit b : sorted_bits) m = bits::insert_zero(m, b);
+  return m;
+}
+
+std::vector<Qubit> sorted_qubits(const std::vector<Qubit>& qs) {
+  std::vector<Qubit> sorted(qs);
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+// ---- permutation kernels ---------------------------------------------------
+// Pure index moves: no arithmetic, so no per-tier variants — every tier is
+// bit-identical here by construction. All enumerate only the touched
+// subset via compact spread().
+
+/// X on q: swap the halves of each pair (size/2 swaps).
+void perm_x(StateVector& s, Qubit q) {
   const Index qb = Index{1} << q;
   cplx* a = s.data();
-  parallel::for_range(0, half, [&](Index lo, Index hi) {
+  parallel::for_range(0, s.size() >> 1, [&](Index lo, Index hi) {
     for (Index m = lo; m < hi; ++m) {
       const Index i0 = bits::insert_zero(m, q);
-      const Index i1 = i0 | qb;
-      const cplx a0 = a[i0], a1 = a[i1];
-      a[i0] = u00 * a0 + u01 * a1;
-      a[i1] = u10 * a0 + u11 * a1;
+      std::swap(a[i0], a[i0 | qb]);
     }
   });
 }
 
-/// Controlled 2x2 kernel: pairs on the target where all control bits set.
-void apply_controlled_1q(StateVector& s, Index ctrl_mask, Qubit target,
-                         const Matrix& u) {
-  const cplx u00 = u(0, 0), u01 = u(0, 1), u10 = u(1, 0), u11 = u(1, 1);
-  const Index half = s.size() >> 1;
+/// CX/CCX/MCX: swap target halves where all controls are set —
+/// size >> (nc+1) swaps, control-satisfied bases enumerated directly.
+void perm_ctrl_x(StateVector& s, std::span<const Qubit> sorted_bits,
+                 Index cmask, Qubit target) {
+  const Index count = s.size() >> sorted_bits.size();
   const Index tb = Index{1} << target;
   cplx* a = s.data();
-  parallel::for_range(0, half, [&](Index lo, Index hi) {
+  parallel::for_range(0, count, [&](Index lo, Index hi) {
     for (Index m = lo; m < hi; ++m) {
-      const Index i0 = bits::insert_zero(m, target);
-      if ((i0 & ctrl_mask) != ctrl_mask) continue;
-      const Index i1 = i0 | tb;
-      const cplx a0 = a[i0], a1 = a[i1];
-      a[i0] = u00 * a0 + u01 * a1;
-      a[i1] = u10 * a0 + u11 * a1;
+      const Index i0 = spread(m, sorted_bits) | cmask;
+      std::swap(a[i0], a[i0 | tb]);
     }
   });
 }
 
-/// Diagonal kernel: one multiply per amplitude, phases indexed by the
-/// gate-local bit pattern.
-void apply_diagonal(StateVector& s, const std::vector<Qubit>& qs,
-                    const std::vector<cplx>& phases) {
-  cplx* a = s.data();
-  const unsigned k = static_cast<unsigned>(qs.size());
-  parallel::for_range(0, s.size(), [&](Index lo, Index hi) {
-    for (Index i = lo; i < hi; ++i) {
-      Index code = 0;
-      for (unsigned j = 0; j < k; ++j)
-        code |= static_cast<Index>(bits::test(i, qs[j])) << j;
-      a[i] *= phases[code];
-    }
-  });
-}
-
-void apply_swap(StateVector& s, Qubit qa, Qubit qb) {
+/// SWAP(qa, qb): exchange the (1,0)/(0,1) amplitudes of each 4-block —
+/// size/4 swaps instead of scanning all amplitudes and testing bits.
+void perm_swap(StateVector& s, Qubit qa, Qubit qb) {
   if (qa == qb) return;
   const Index ba = Index{1} << qa, bb = Index{1} << qb;
+  const std::array<Qubit, 2> sorted = {std::min(qa, qb), std::max(qa, qb)};
   cplx* a = s.data();
-  // Enumerate indices with qa=1, qb=0 and swap with the (0,1) partner.
-  parallel::for_range(0, s.size(), [&](Index lo, Index hi) {
-    for (Index i = lo; i < hi; ++i) {
-      if ((i & ba) && !(i & bb)) std::swap(a[i], a[(i & ~ba) | bb]);
+  parallel::for_range(0, s.size() >> 2, [&](Index lo, Index hi) {
+    for (Index m = lo; m < hi; ++m) {
+      const Index base = spread(m, sorted);
+      std::swap(a[base | ba], a[base | bb]);
     }
   });
 }
 
-/// Generic k-qubit dense kernel.
+/// CSWAP(c, qa, qb): size/8 swaps over control-satisfied 8-blocks.
+void perm_cswap(StateVector& s, Qubit c, Qubit qa, Qubit qb) {
+  if (qa == qb) return;
+  const Index cb = Index{1} << c;
+  const Index ba = Index{1} << qa, bb = Index{1} << qb;
+  std::array<Qubit, 3> sorted = {c, qa, qb};
+  std::sort(sorted.begin(), sorted.end());
+  cplx* a = s.data();
+  parallel::for_range(0, s.size() >> 3, [&](Index lo, Index hi) {
+    for (Index m = lo; m < hi; ++m) {
+      const Index base = spread(m, sorted) | cb;
+      std::swap(a[base | ba], a[base | bb]);
+    }
+  });
+}
+
+// ---- generic k-qubit dense kernel ------------------------------------------
+// Gather/scatter through per-chunk buffers; shared by every tier (the
+// k >= 3 dense case is rare after fusion caps runs at 2-3 qubits).
+
 void apply_generic(StateVector& s, const std::vector<Qubit>& qs,
                    const Matrix& u) {
   const unsigned k = static_cast<unsigned>(qs.size());
@@ -119,82 +136,128 @@ std::vector<cplx> diagonal_phases(const Gate& g) {
 }
 
 void apply_gate_on(StateVector& state, const Gate& g,
-                   const std::vector<Qubit>& qs) {
+                   const std::vector<Qubit>& qs, const KernelOps& ops) {
   for (Qubit q : qs) HISIM_CHECK(q < state.num_qubits());
   // Exact identities: the id gate and an unfilled noise slot. Skipping
   // them (rather than sweeping a diagonal of ones) keeps instrumented
   // plans bit-identical to — and as fast as — their ideal circuits when
   // no trajectory operator is substituted.
   if (g.kind == GateKind::I || g.kind == GateKind::NoiseSlot) return;
-  if (g.is_diagonal()) {
-    apply_diagonal(state, qs, diagonal_phases(g));
-    return;
-  }
+  // Pure permutations first: never touch the ops table (and MCX skips
+  // matrix materialization entirely, so wide controls carry no 2^k cost).
   switch (g.kind) {
-    case GateKind::SWAP:
-      apply_swap(state, qs[0], qs[1]);
+    case GateKind::X:
+      perm_x(state, qs[0]);
       return;
-    case GateKind::RXX: case GateKind::Unitary:
-      apply_generic(state, qs, g.matrix());
-      return;
-    case GateKind::CSWAP: {
-      // Controlled swap: swap qs[1], qs[2] where control bit set.
-      const Index cb = Index{1} << qs[0];
-      const Index ba = Index{1} << qs[1], bb = Index{1} << qs[2];
-      cplx* a = state.data();
-      parallel::for_range(0, state.size(), [&](Index lo, Index hi) {
-        for (Index i = lo; i < hi; ++i)
-          if ((i & cb) && (i & ba) && !(i & bb))
-            std::swap(a[i], a[(i & ~ba) | bb]);
-      });
+    case GateKind::CX: case GateKind::CCX: case GateKind::MCX: {
+      const std::vector<Qubit> sorted = sorted_qubits(qs);
+      Index cmask = 0;
+      for (unsigned i = 0; i + 1 < qs.size(); ++i) cmask |= Index{1} << qs[i];
+      perm_ctrl_x(state, sorted, cmask, qs.back());
       return;
     }
+    case GateKind::SWAP:
+      perm_swap(state, qs[0], qs[1]);
+      return;
+    case GateKind::CSWAP:
+      perm_cswap(state, qs[0], qs[1], qs[2]);
+      return;
     default:
       break;
   }
+  if (g.is_diagonal()) {
+    const unsigned nc = g.num_controls();
+    if (nc > 0) {  // CZ / CRZ / CP
+      const Matrix t = g.target_matrix();
+      const std::vector<Qubit> sorted = sorted_qubits(qs);
+      Index cmask = 0;
+      for (unsigned i = 0; i < nc; ++i) cmask |= Index{1} << qs[i];
+      ops.apply_ctrl_diag(state, sorted, cmask, qs.back(), t(0, 0), t(1, 1));
+    } else if (g.arity() == 1) {
+      const Matrix m = g.matrix();
+      ops.apply_1q_diag(state, qs[0], m(0, 0), m(1, 1));
+    } else {  // RZZ
+      ops.apply_diag(state, qs, diagonal_phases(g));
+    }
+    return;
+  }
+  if (g.arity() == 2 && g.num_controls() == 0) {  // RXX, raw 2q unitaries
+    const Matrix m = g.matrix();
+    ops.apply_2q(state, qs[0], qs[1], m.data().data());
+    return;
+  }
+  if (g.kind == GateKind::Unitary) {
+    if (g.arity() == 1) {  // raw 1q operators (incl. sampled Kraus ops)
+      const Matrix m = g.matrix();
+      ops.apply_1q(state, qs[0], m.data().data());
+    } else {
+      apply_generic(state, qs, g.matrix());
+    }
+    return;
+  }
   const unsigned nc = g.num_controls();
   if (nc == 0) {
-    apply_1q(state, qs[0], g.target_matrix());
+    const Matrix m = g.target_matrix();
+    ops.apply_1q(state, qs[0], m.data().data());
   } else {
-    Index cm = 0;
-    for (unsigned i = 0; i < nc; ++i) cm |= Index{1} << qs[i];
-    apply_controlled_1q(state, cm, qs.back(), g.target_matrix());
+    const Matrix m = g.target_matrix();
+    const std::vector<Qubit> sorted = sorted_qubits(qs);
+    Index cmask = 0;
+    for (unsigned i = 0; i < nc; ++i) cmask |= Index{1} << qs[i];
+    ops.apply_ctrl_1q(state, sorted, cmask, qs.back(), m.data().data());
   }
 }
 
 }  // namespace
 
-void apply_gate(StateVector& state, const Gate& gate) {
-  apply_gate_on(state, gate, gate.qubits);
+void apply_gate(StateVector& state, const Gate& gate, const KernelOps& ops) {
+  apply_gate_on(state, gate, gate.qubits, ops);
 }
 
 void apply_gate_remapped(StateVector& state, const Gate& gate,
-                         std::span<const Qubit> slot_of) {
+                         std::span<const Qubit> slot_of,
+                         const KernelOps& ops) {
   std::vector<Qubit> qs(gate.qubits.size());
   for (std::size_t i = 0; i < qs.size(); ++i) {
     HISIM_CHECK(gate.qubits[i] < slot_of.size());
     qs[i] = slot_of[gate.qubits[i]];
   }
-  apply_gate_on(state, gate, qs);
+  apply_gate_on(state, gate, qs, ops);
 }
 
 double gate_flops(const Gate& gate, unsigned num_qubits) {
-  // One 2x2 matrix-vector multiply = 28 FLOPs (paper Sec. III-A).
   if (gate.kind == GateKind::I || gate.kind == GateKind::NoiseSlot)
     return 0.0;  // applied as exact no-ops by the kernels
-  const double pairs = static_cast<double>(dim(num_qubits)) / 2.0;
-  if (gate.is_diagonal())  // one complex multiply (6 FLOPs) per amplitude
-    return 6.0 * static_cast<double>(dim(num_qubits));
+  switch (gate.kind) {
+    // Pure index permutations: amplitudes move, nothing is computed.
+    case GateKind::X: case GateKind::CX: case GateKind::CCX:
+    case GateKind::MCX: case GateKind::SWAP: case GateKind::CSWAP:
+      return 0.0;
+    default:
+      break;
+  }
+  const double amps = static_cast<double>(dim(num_qubits));
+  if (gate.is_diagonal()) {
+    // One complex multiply (6 FLOPs) per touched amplitude; controls cut
+    // the touched count by 2^nc (compact enumeration).
+    const unsigned nc = gate.num_controls();
+    return 6.0 * amps / static_cast<double>(Index{1} << nc);
+  }
   const unsigned nc = gate.num_controls();
   if (nc > 0 || gate.arity() == 1) {
-    // controls reduce the touched pair count by 2^nc
-    return 28.0 * pairs / static_cast<double>(Index{1} << nc);
+    // One 2x2 matrix-vector multiply = 28 FLOPs (paper Sec. III-A);
+    // controls reduce the enumerated pair count by 2^nc.
+    return 28.0 * (amps / 2.0) / static_cast<double>(Index{1} << nc);
+  }
+  if (gate.arity() == 2) {
+    // Unrolled 4x4 kernel: 16 complex multiplies (6) + 12 complex adds
+    // (2) = 120 FLOPs per 4-amplitude block (fused 2q runs, RXX).
+    return 120.0 * (amps / 4.0);
   }
   // k-qubit dense: 2^k x 2^k matvec per block: 8*2^k*2^k - 2*2^k FLOPs.
   const unsigned k = gate.arity();
   const double kd = static_cast<double>(Index{1} << k);
-  const double blocks = static_cast<double>(dim(num_qubits)) / kd;
-  return blocks * (8.0 * kd * kd - 2.0 * kd);
+  return (amps / kd) * (8.0 * kd * kd - 2.0 * kd);
 }
 
 }  // namespace hisim::sv

@@ -1,0 +1,170 @@
+// Scalar reference bodies for every KernelOps entry, plus the canonical
+// complex-arithmetic primitives all tiers must reproduce exactly.
+//
+// This file is included — not compiled — by each kernel translation unit
+// with HISIM_KERNEL_NS defined to a TU-unique namespace name:
+//
+//   * kernels_scalar.cpp includes it as the scalar tier proper;
+//   * kernels_avx2.cpp includes it again (as a different namespace) for
+//     its short-run remainders and minimum-qubit-0 fallbacks.
+//
+// The per-TU namespace is deliberate: these functions are compiled once
+// per tier under that tier's arch flags, and the symbols must never be
+// ODR-merged across translation units — a linker picking the AVX2-encoded
+// copy for the scalar tier would fault on pre-AVX2 hosts.
+//
+// Determinism contract (what "bit-identical across tiers" rests on):
+//  * complex multiply is exactly  re = ar*br - ai*bi,  im = ai*br + ar*bi
+//    — the same even/odd lane recipe `_mm256_addsub_pd` implements;
+//  * sums of 2 (and the 4x4 kernel's sums of 4) accumulate pairwise in
+//    matrix-column order: (c0 + c1), then ((c0+c1) + (c2+c3));
+//  * no FMA: both kernel TUs build with -ffp-contract=off and the AVX2
+//    code uses mul/addsub only, so every tier performs the identical
+//    sequence of IEEE-754 double operations;
+//  * multiplications by an exact 1.0 phase are *skipped*, never applied
+//    (multiplying by 1+0i can flip the sign of a -0.0 component).
+
+#ifndef HISIM_KERNEL_NS
+#error "define HISIM_KERNEL_NS before including kernels_scalar.inl"
+#endif
+
+#include <algorithm>
+
+#include "common/bits.hpp"
+#include "common/parallel.hpp"
+#include "sv/kernel_dispatch.hpp"
+
+namespace hisim::sv {
+namespace HISIM_KERNEL_NS {
+
+// ---- canonical primitives --------------------------------------------------
+
+inline cplx cmul(cplx a, cplx b) {
+  return {a.real() * b.real() - a.imag() * b.imag(),
+          a.imag() * b.real() + a.real() * b.imag()};
+}
+
+inline cplx cadd(cplx a, cplx b) {
+  return {a.real() + b.real(), a.imag() + b.imag()};
+}
+
+inline bool is_one(cplx v) { return v == cplx{1.0, 0.0}; }
+
+/// Spread compact index m over the complement of `sorted_bits`: inserts a
+/// zero at each listed position, ascending. The compact-enumeration
+/// primitive shared by the controlled and permutation kernels.
+inline Index spread(Index m, std::span<const Qubit> sorted_bits) {
+  for (Qubit b : sorted_bits) m = bits::insert_zero(m, b);
+  return m;
+}
+
+/// Canonical 2x2 pair update used by dense 1q and controlled-1q kernels.
+inline void pair_update(cplx* a, Index i0, Index i1, const cplx* u) {
+  const cplx a0 = a[i0], a1 = a[i1];
+  a[i0] = cadd(cmul(a0, u[0]), cmul(a1, u[1]));
+  a[i1] = cadd(cmul(a0, u[2]), cmul(a1, u[3]));
+}
+
+/// Canonical 4x4 quad update (row-major u, pairwise accumulation).
+inline void quad_update(cplx* a, Index i0, Index i1, Index i2, Index i3,
+                        const cplx* u) {
+  const cplx a0 = a[i0], a1 = a[i1], a2 = a[i2], a3 = a[i3];
+  a[i0] = cadd(cadd(cmul(a0, u[0]), cmul(a1, u[1])),
+               cadd(cmul(a2, u[2]), cmul(a3, u[3])));
+  a[i1] = cadd(cadd(cmul(a0, u[4]), cmul(a1, u[5])),
+               cadd(cmul(a2, u[6]), cmul(a3, u[7])));
+  a[i2] = cadd(cadd(cmul(a0, u[8]), cmul(a1, u[9])),
+               cadd(cmul(a2, u[10]), cmul(a3, u[11])));
+  a[i3] = cadd(cadd(cmul(a0, u[12]), cmul(a1, u[13])),
+               cadd(cmul(a2, u[14]), cmul(a3, u[15])));
+}
+
+// ---- KernelOps entries -----------------------------------------------------
+
+inline void apply_1q(StateVector& s, Qubit q, const cplx* u) {
+  const Index half = s.size() >> 1;
+  const Index qb = Index{1} << q;
+  cplx* a = s.data();
+  parallel::for_range(0, half, [&](Index lo, Index hi) {
+    for (Index m = lo; m < hi; ++m) {
+      const Index i0 = bits::insert_zero(m, q);
+      pair_update(a, i0, i0 | qb, u);
+    }
+  });
+}
+
+inline void apply_1q_diag(StateVector& s, Qubit q, cplx d0, cplx d1) {
+  const Index qb = Index{1} << q;
+  const bool skip0 = is_one(d0), skip1 = is_one(d1);
+  if (skip0 && skip1) return;
+  cplx* a = s.data();
+  parallel::for_range(0, s.size(), [&](Index lo, Index hi) {
+    for (Index i = lo; i < hi; ++i) {
+      if (i & qb) {
+        if (!skip1) a[i] = cmul(a[i], d1);
+      } else {
+        if (!skip0) a[i] = cmul(a[i], d0);
+      }
+    }
+  });
+}
+
+inline void apply_ctrl_1q(StateVector& s, std::span<const Qubit> sorted_bits,
+                          Index cmask, Qubit target, const cplx* u) {
+  const Index count = s.size() >> sorted_bits.size();
+  const Index tb = Index{1} << target;
+  cplx* a = s.data();
+  parallel::for_range(0, count, [&](Index lo, Index hi) {
+    for (Index m = lo; m < hi; ++m) {
+      const Index i0 = spread(m, sorted_bits) | cmask;
+      pair_update(a, i0, i0 | tb, u);
+    }
+  });
+}
+
+inline void apply_ctrl_diag(StateVector& s, std::span<const Qubit> sorted_bits,
+                            Index cmask, Qubit target, cplx d0, cplx d1) {
+  const bool skip0 = is_one(d0), skip1 = is_one(d1);
+  if (skip0 && skip1) return;
+  const Index count = s.size() >> sorted_bits.size();
+  const Index tb = Index{1} << target;
+  cplx* a = s.data();
+  parallel::for_range(0, count, [&](Index lo, Index hi) {
+    for (Index m = lo; m < hi; ++m) {
+      const Index i0 = spread(m, sorted_bits) | cmask;
+      if (!skip0) a[i0] = cmul(a[i0], d0);
+      if (!skip1) a[i0 | tb] = cmul(a[i0 | tb], d1);
+    }
+  });
+}
+
+inline void apply_diag(StateVector& s, std::span<const Qubit> qs,
+                       std::span<const cplx> phases) {
+  const unsigned k = static_cast<unsigned>(qs.size());
+  cplx* a = s.data();
+  parallel::for_range(0, s.size(), [&](Index lo, Index hi) {
+    for (Index i = lo; i < hi; ++i) {
+      Index code = 0;
+      for (unsigned j = 0; j < k; ++j)
+        code |= static_cast<Index>(bits::test(i, qs[j])) << j;
+      const cplx d = phases[code];
+      if (is_one(d)) continue;
+      a[i] = cmul(a[i], d);
+    }
+  });
+}
+
+inline void apply_2q(StateVector& s, Qubit qa, Qubit qb, const cplx* u) {
+  const Index ba = Index{1} << qa, bb = Index{1} << qb;
+  const Qubit lo_q = std::min(qa, qb), hi_q = std::max(qa, qb);
+  cplx* a = s.data();
+  parallel::for_range(0, s.size() >> 2, [&](Index lo, Index hi) {
+    for (Index m = lo; m < hi; ++m) {
+      const Index base = bits::insert_zero(bits::insert_zero(m, lo_q), hi_q);
+      quad_update(a, base, base | ba, base | bb, base | ba | bb, u);
+    }
+  });
+}
+
+}  // namespace HISIM_KERNEL_NS
+}  // namespace hisim::sv

@@ -5,9 +5,11 @@
 
 namespace hisim::sv {
 
-void FlatSimulator::run(const Circuit& c, StateVector& state) const {
+void FlatSimulator::run(const Circuit& c, StateVector& state,
+                        const KernelOps* ops) const {
   HISIM_CHECK(state.num_qubits() == c.num_qubits());
-  for (const Gate& g : c.gates()) apply_gate(state, g);
+  const KernelOps& k = ops != nullptr ? *ops : kernel_ops();
+  for (const Gate& g : c.gates()) apply_gate(state, g, k);
 }
 
 StateVector FlatSimulator::simulate(const Circuit& c) const {

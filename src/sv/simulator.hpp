@@ -1,6 +1,7 @@
 #pragma once
 
 #include "circuit/circuit.hpp"
+#include "sv/kernel_dispatch.hpp"
 #include "sv/state_vector.hpp"
 
 namespace hisim::sv {
@@ -10,8 +11,10 @@ namespace hisim::sv {
 /// the non-hierarchical arm of the Table II comparison.
 class FlatSimulator {
  public:
-  /// Applies all gates of `c` to `state` (sizes must match).
-  void run(const Circuit& c, StateVector& state) const;
+  /// Applies all gates of `c` to `state` (sizes must match). `ops`
+  /// selects the kernel tier (nullptr = the Auto-resolved default).
+  void run(const Circuit& c, StateVector& state,
+           const KernelOps* ops = nullptr) const;
 
   /// Convenience: simulate from |0..0>.
   StateVector simulate(const Circuit& c) const;

@@ -122,12 +122,22 @@ TEST(Kernels, RemappedGateActsOnSlots) {
   EXPECT_LT(a.max_abs_diff(b), 1e-15);
 }
 
-TEST(Kernels, FlopsModelPositive) {
+TEST(Kernels, FlopsModel) {
   EXPECT_GT(gate_flops(Gate::h(0), 10), 0.0);
   EXPECT_GT(gate_flops(Gate::rz(0, 1.0), 10), 0.0);
-  // Controls reduce work.
-  EXPECT_LT(gate_flops(Gate::ccx(0, 1, 2), 10),
-            gate_flops(Gate::x(0), 10));
+  // Pure index permutations compute nothing.
+  EXPECT_EQ(gate_flops(Gate::x(0), 10), 0.0);
+  EXPECT_EQ(gate_flops(Gate::cx(0, 1), 10), 0.0);
+  EXPECT_EQ(gate_flops(Gate::ccx(0, 1, 2), 10), 0.0);
+  EXPECT_EQ(gate_flops(Gate::swap(0, 1), 10), 0.0);
+  EXPECT_EQ(gate_flops(Gate::cswap(0, 1, 2), 10), 0.0);
+  // Controls reduce work by 2^nc (compact enumeration).
+  EXPECT_EQ(gate_flops(Gate::crx(0, 1, 0.5), 10),
+            gate_flops(Gate::rx(1, 0.5), 10) / 2.0);
+  EXPECT_EQ(gate_flops(Gate::cp(0, 1, 0.5), 10),
+            gate_flops(Gate::p(1, 0.5), 10) / 2.0);
+  // Fused 4x4 blocks: 120 FLOPs per 4 amplitudes = 30 per amplitude.
+  EXPECT_EQ(gate_flops(Gate::rxx(0, 1, 0.5), 10), 30.0 * 1024.0);
 }
 
 TEST(StateVectorTest, FidelitySelf) {

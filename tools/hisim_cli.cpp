@@ -3,7 +3,7 @@
 //   hisim run <circuit|file.qasm> [--qubits=N] [--limit=L]
 //         [--strategy=dagp|dfs|nat] [--ranks=R] [--level2=L2]
 //         [--backend=serial|threaded] [--target=T] [--shots=S] [--json]
-//         [--opt-level=0|1]
+//         [--opt-level=0|1] [--kernel=auto|scalar|simd]
 //         [--bind name=value]... [--sweep name=start:stop:steps]...
 //         [--observable=PAULI]... [--noise kind=p]... [--trajectories=N]
 //         [--noise-seed=S]
@@ -23,6 +23,10 @@
 // --target is one of flat, hierarchical, multilevel, distributed-serial,
 // distributed-threaded, iqs-baseline; when omitted it is derived from
 // --ranks / --level2 / --backend.
+// --kernel selects the apply-kernel tier: auto (default — SIMD when the
+// build and CPU support it, also via HISIM_KERNEL=scalar|simd|auto),
+// scalar, or simd (errors at compile when unavailable); the report's
+// "kernel" field names the tier that actually ran.
 // --bind pins a circuit parameter; --sweep runs the cartesian grid of its
 // axes through one compiled plan (one report line — or JSON array entry —
 // per point). Every circuit parameter must be covered by a bind or sweep.

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Append one bench_kernels data point to BENCH_kernels.json.
+
+Runs the bench binary with --json, wraps its payload with the commit and
+a UTC timestamp, and appends it to the trajectory file at the repo root
+(a JSON list, one entry per recorded run). The file is the repo's
+recorded perf trajectory: comparing the latest entry against older ones
+shows when a kernel change moved throughput.
+
+Usage:
+    python3 tools/record_bench.py [path/to/bench_kernels] [bench args...]
+
+Default binary: build/bench_kernels (run from the repo root). Extra args
+are passed through (e.g. --qubits=12). --json is always added.
+"""
+
+import datetime
+import json
+import pathlib
+import subprocess
+import sys
+
+
+def main() -> int:
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    args = sys.argv[1:]
+    binary = args.pop(0) if args and not args[0].startswith("-") else str(
+        repo_root / "build" / "bench_kernels")
+
+    cmd = [binary, "--json"] + args
+    out = subprocess.run(cmd, check=True, capture_output=True, text=True)
+    data = json.loads(out.stdout)
+
+    commit = subprocess.run(
+        ["git", "-C", str(repo_root), "rev-parse", "--short", "HEAD"],
+        check=False, capture_output=True, text=True).stdout.strip() or None
+
+    entry = {
+        "recorded_utc": datetime.datetime.now(datetime.timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "commit": commit,
+        "data": data,
+    }
+
+    trajectory_path = repo_root / "BENCH_kernels.json"
+    trajectory = []
+    if trajectory_path.exists():
+        trajectory = json.loads(trajectory_path.read_text())
+        if not isinstance(trajectory, list):
+            raise SystemExit(f"{trajectory_path} is not a JSON list")
+    trajectory.append(entry)
+    trajectory_path.write_text(json.dumps(trajectory, indent=1) + "\n")
+
+    cases = data.get("cases", [])
+    best = {
+        c["case"]: max((t["speedup_vs_scalar"] for t in c["tiers"]),
+                       default=1.0)
+        for c in cases
+    }
+    print(f"recorded entry {len(trajectory)} -> {trajectory_path}")
+    for name, speedup in best.items():
+        print(f"  {name:<14} best speedup {speedup:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
