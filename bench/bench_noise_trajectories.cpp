@@ -60,14 +60,14 @@ int main(int argc, char** argv) {
   bench::print_row(
       {"shared-plan", std::to_string(trajectories),
        bench::fmt(shared_s * 1e3, 1),
-       bench::fmt(shared_s * 1e3 / trajectories, 3),
-       bench::fmt(trajectories / shared_s, 1)},
+       bench::fmt(shared_s * 1e3 / static_cast<double>(trajectories), 3),
+       bench::fmt(static_cast<double>(trajectories) / shared_s, 1)},
       {24, 6, 10, 9, 9});
   bench::print_row(
       {"recompile-per-trajectory", std::to_string(trajectories),
        bench::fmt(recompile_s * 1e3, 1),
-       bench::fmt(recompile_s * 1e3 / trajectories, 3),
-       bench::fmt(trajectories / recompile_s, 1)},
+       bench::fmt(recompile_s * 1e3 / static_cast<double>(trajectories), 3),
+       bench::fmt(static_cast<double>(trajectories) / recompile_s, 1)},
       {24, 6, 10, 9, 9});
   std::printf("\namortization: shared plan is %.2fx the recompile arm's "
               "throughput\n\n",
@@ -101,7 +101,7 @@ int main(int argc, char** argv) {
     bench::print_row(
         {target_name(target), std::to_string(nr.trajectories),
          bench::fmt(nr.execute_seconds * 1e3, 1),
-         bench::fmt(nr.trajectories / nr.execute_seconds, 1),
+         bench::fmt(static_cast<double>(nr.trajectories) / nr.execute_seconds, 1),
          bench::fmt(nr.observable_means[0], 4),
          bench::fmt(nr.observable_stderrs[0], 4)},
         {22, 6, 10, 9, 8, 8});

@@ -4,7 +4,7 @@
 #include <set>
 #include <sstream>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 
 namespace hisim {
 

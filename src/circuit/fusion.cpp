@@ -4,7 +4,7 @@
 #include <set>
 
 #include "common/bits.hpp"
-#include "common/error.hpp"
+#include "common/check.hpp"
 
 namespace hisim {
 
@@ -87,7 +87,43 @@ void flush_all(Circuit& out, const Circuit& in, std::vector<Run>& runs) {
   runs.clear();
 }
 
+/// Checked builds re-assert run disjointness each time the run list
+/// changes; release builds compile the call away (see common/check.hpp).
+void check_runs(const std::vector<Run>& runs, unsigned max_qubits) {
+  if constexpr (checked_build) {
+    std::vector<std::vector<Qubit>> supports;
+    supports.reserve(runs.size());
+    for (const Run& r : runs)
+      supports.emplace_back(r.support.begin(), r.support.end());
+    validate_fusion_supports(supports, max_qubits);
+  }
+}
+
 }  // namespace
+
+void validate_fusion_supports(std::span<const std::vector<Qubit>> supports,
+                              unsigned max_qubits) {
+  std::set<Qubit> all;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < supports.size(); ++i) {
+    const std::vector<Qubit>& s = supports[i];
+    HISIM_INVARIANT(!s.empty(), "fusion run " << i << " has empty support");
+    HISIM_INVARIANT(std::is_sorted(s.begin(), s.end()) &&
+                        std::adjacent_find(s.begin(), s.end()) == s.end(),
+                    "fusion run " << i << " support not sorted/unique");
+    HISIM_INVARIANT(s.size() <= max_qubits,
+                    "fusion run " << i << " spans " << s.size()
+                                  << " qubits, limit is " << max_qubits);
+    total += s.size();
+    all.insert(s.begin(), s.end());
+  }
+  HISIM_INVARIANT(all.size() == total,
+                  "open fusion runs overlap: " << total << " support entries "
+                                               << "but only " << all.size()
+                                               << " distinct qubits — "
+                                               << "disjoint-commute reordering "
+                                               << "argument violated");
+}
 
 Circuit fuse(const Circuit& c, const FusionOptions& opt) {
   HISIM_CHECK(opt.max_qubits >= 1 && opt.max_qubits <= 10);
@@ -152,6 +188,7 @@ Circuit fuse(const Circuit& c, const FusionOptions& opt) {
       for (std::size_t t = touched.size(); t-- > 0;)
         runs.erase(runs.begin() + static_cast<std::ptrdiff_t>(touched[t]));
       runs.push_back(std::move(next));
+      check_runs(runs, opt.max_qubits);
     } else {
       std::vector<Run> blocked;
       for (std::size_t t = touched.size(); t-- > 0;) {
@@ -163,6 +200,7 @@ Circuit fuse(const Circuit& c, const FusionOptions& opt) {
       fresh.gates.push_back(i);
       fresh.support.insert(g.qubits.begin(), g.qubits.end());
       runs.push_back(std::move(fresh));
+      check_runs(runs, opt.max_qubits);
     }
   }
   flush_all(out, c, runs);

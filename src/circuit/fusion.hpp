@@ -1,5 +1,8 @@
 #pragma once
 
+#include <span>
+#include <vector>
+
 #include "circuit/circuit.hpp"
 
 namespace hisim {
@@ -32,6 +35,16 @@ struct FusionOptions {
 };
 
 Circuit fuse(const Circuit& c, const FusionOptions& opt = {});
+
+/// Deep validator (see common/check.hpp): aborts unless the given open
+/// fusion-run supports are pairwise disjoint, each non-empty, sorted,
+/// duplicate-free, and within `max_qubits`. Disjointness is the entire
+/// correctness argument of the fusion pass — the only reordering it may
+/// introduce is between gates on disjoint qubit sets, which commute — so
+/// checked builds re-assert it at every flush point; tests feed an
+/// overlapping pair and assert the abort.
+void validate_fusion_supports(std::span<const std::vector<Qubit>> supports,
+                              unsigned max_qubits);
 
 /// Expands `gate`'s unitary onto the qubit set `support` (sorted): bit j
 /// of the returned matrix's indices corresponds to support[j]. Every

@@ -5,7 +5,7 @@
 #include <set>
 #include <sstream>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 
 namespace hisim {
 namespace {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.hpp"
+
 namespace hisim {
 
 Matrix Matrix::operator*(const Matrix& rhs) const {

@@ -3,7 +3,7 @@
 #include <initializer_list>
 #include <vector>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 #include "common/types.hpp"
 
 namespace hisim {

@@ -3,7 +3,7 @@
 #include <cmath>
 #include <set>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 #include "common/rng.hpp"
 
 namespace hisim::circuits {

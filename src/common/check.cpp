@@ -1,0 +1,20 @@
+#include "common/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hisim::detail {
+
+void invariant_failure(const char* expr, const char* file, int line,
+                       const std::string& msg) {
+  // stderr + abort, never throw: an invariant violation is a library bug,
+  // and aborting (a) cannot be swallowed by a catch block, (b) works from
+  // noexcept contexts and destructors, and (c) is what death tests and
+  // sanitizer runs key on.
+  std::fprintf(stderr, "HISIM invariant violated: (%s) at %s:%d%s%s\n", expr,
+               file, line, msg.empty() ? "" : " — ", msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace hisim::detail

@@ -1,45 +1,16 @@
 #pragma once
 
-#include <sstream>
 #include <stdexcept>
 #include <string>
 
 namespace hisim {
 
 /// Exception thrown by all HiSVSIM components on precondition violations
-/// or malformed inputs (e.g. bad QASM, invalid partitions).
+/// or malformed inputs (e.g. bad QASM, invalid partitions). The checking
+/// macros (HISIM_CHECK and friends) live in common/check.hpp.
 class Error : public std::runtime_error {
  public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
-namespace detail {
-[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
-                                             int line, const std::string& msg) {
-  std::ostringstream os;
-  os << "HISIM_CHECK failed: (" << expr << ") at " << file << ":" << line;
-  if (!msg.empty()) os << " — " << msg;
-  throw Error(os.str());
-}
-}  // namespace detail
-
 }  // namespace hisim
-
-/// Always-on invariant check (library is used as infrastructure by the
-/// simulator; violations indicate bugs or invalid user input, so we throw
-/// rather than abort).
-#define HISIM_CHECK(expr)                                                  \
-  do {                                                                     \
-    if (!(expr))                                                           \
-      ::hisim::detail::throw_check_failure(#expr, __FILE__, __LINE__, ""); \
-  } while (0)
-
-#define HISIM_CHECK_MSG(expr, msg)                                      \
-  do {                                                                  \
-    if (!(expr)) {                                                      \
-      std::ostringstream os_;                                           \
-      os_ << msg;                                                       \
-      ::hisim::detail::throw_check_failure(#expr, __FILE__, __LINE__,   \
-                                           os_.str());                  \
-    }                                                                   \
-  } while (0)

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 
 namespace hisim::dag {
 

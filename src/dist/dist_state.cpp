@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 #include "common/parallel.hpp"
 
 namespace hisim::dist {
@@ -93,6 +93,12 @@ std::unique_ptr<ExchangeHandle> DistState::redistribute_async(
   std::vector<unsigned> fwd(n), inv(n);
   for (unsigned s = 0; s < n; ++s) fwd[s] = target.slot_of(layout_.qubit_at(s));
   for (unsigned s = 0; s < n; ++s) inv[fwd[s]] = s;
+  // Checked builds re-assert that the composed map really is a permutation
+  // (slot_of/qubit_at of either layout disagreeing would corrupt every
+  // shard below); fwd hitting n distinct values makes inv its inverse.
+  for (unsigned s = 0; s < n; ++s)
+    HISIM_DCHECK_MSG(fwd[s] < n && inv[fwd[s]] == s,
+                     "redistribute slot map is not a permutation");
 
   // Traffic accounting, derived from the permutation alone (no data pass,
   // and identical for every backend). From source rank r, the destination

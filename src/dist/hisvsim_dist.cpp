@@ -4,7 +4,7 @@
 #include <mutex>
 
 #include "circuit/decompose.hpp"
-#include "common/error.hpp"
+#include "common/check.hpp"
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
 #include "dag/circuit_dag.hpp"

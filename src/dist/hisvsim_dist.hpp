@@ -134,6 +134,19 @@ struct DistPlan {
   std::size_t num_parts() const { return steps.size(); }
 };
 
+/// Deep validator (see common/check.hpp): aborts unless `plan` upholds the
+/// full exchange-schedule contract — every layout a consistent n/p-shaped
+/// permutation whose slot_of/qubit_at maps invert each other, every
+/// amplitude conserved across each consecutive layout pair (each (rank,
+/// offset) destination hit exactly once — no shard byte lost or
+/// duplicated), every step gate acting only on local slots, the steps'
+/// slot-remapped gates unmapping (via each step's layout) to exactly the
+/// plan circuit's gate multiset, reserved noise slots consistent between
+/// circuit and steps, and inner partitionings valid for their step
+/// sub-circuits. Checked builds run this from ExecutionPlan::validate();
+/// tests corrupt a copied plan's schedule and assert the abort.
+void validate_plan(const DistPlan& plan);
+
 /// Builds the execution plan for `c` under `opt` (opt.net / opt.backend are
 /// execution-time concerns and ignored here). `initial` is the layout the
 /// target state will carry when execution starts; nullptr = identity.

@@ -7,7 +7,7 @@
 #include <cstdlib>
 #include <limits>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 
 namespace hisim::cli {
 namespace {
@@ -132,36 +132,65 @@ Flags parse_flags(const std::vector<std::string>& args) {
       HISIM_CHECK_MSG(i + 1 < args.size(), name << " needs an argument");
       return args[++i].c_str();
     };
+    // Sibling `if` + continue rather than an else-if chain: each branch
+    // declares its own `v` without nesting inside the previous branch's
+    // scope (an else-if chain would shadow, which -Wshadow rejects).
     if (const char* v = val("--bind=")) {
       parse_bind(f, v);
-    } else if (const char* v = two_token("--bind")) {
+      continue;
+    }
+    if (const char* v = two_token("--bind")) {
       parse_bind(f, v);
-    } else if (const char* v = val("--sweep=")) {
+      continue;
+    }
+    if (const char* v = val("--sweep=")) {
       parse_sweep(f, v);
-    } else if (const char* v = two_token("--sweep")) {
+      continue;
+    }
+    if (const char* v = two_token("--sweep")) {
       parse_sweep(f, v);
-    } else if (const char* v = val("--noise=")) {
+      continue;
+    }
+    if (const char* v = val("--noise=")) {
       parse_noise(f, v);
-    } else if (const char* v = two_token("--noise")) {
+      continue;
+    }
+    if (const char* v = two_token("--noise")) {
       parse_noise(f, v);
-    } else if (const char* v = val("--observable=")) {
+      continue;
+    }
+    if (const char* v = val("--observable=")) {
       f.observables.emplace_back(v);
-    } else if (const char* v = two_token("--observable")) {
+      continue;
+    }
+    if (const char* v = two_token("--observable")) {
       f.observables.emplace_back(v);
-    } else if (const char* v = val("--trajectories=")) {
+      continue;
+    }
+    if (const char* v = val("--trajectories=")) {
       f.trajectories = static_cast<std::size_t>(parse_uint(
           "--trajectories", v, std::numeric_limits<std::size_t>::max()));
       HISIM_CHECK_MSG(f.trajectories >= 1, "--trajectories needs >= 1");
-    } else if (const char* v = val("--noise-seed=")) {
+      continue;
+    }
+    if (const char* v = val("--noise-seed=")) {
       f.noise_seed = parse_uint(
           "--noise-seed", v, std::numeric_limits<std::uint64_t>::max());
-    } else if (const char* v = val("--qubits=")) {
+      continue;
+    }
+    if (const char* v = val("--qubits=")) {
       f.qubits = static_cast<unsigned>(parse_uint("--qubits", v));
-    } else if (const char* v = val("--limit=")) {
+      continue;
+    }
+    if (const char* v = val("--limit=")) {
       f.limit = static_cast<unsigned>(parse_uint("--limit", v));
-    } else if (const char* v = val("--opt-level=")) {
+      continue;
+    }
+    if (const char* v = val("--opt-level=")) {
       f.opt_level = static_cast<unsigned>(parse_uint("--opt-level", v, 1));
-    } else if (const char* v = val("--ranks=")) {
+      continue;
+    }
+    if (const char* v = val("--ranks=")) {
       const unsigned long long r = parse_uint("--ranks", v);
       HISIM_CHECK_MSG(r > 0 && (r & (r - 1)) == 0,
                       "--ranks=" << r
@@ -171,30 +200,48 @@ Flags parse_flags(const std::vector<std::string>& args) {
       unsigned p = 0;
       while ((1ull << p) < r) ++p;
       f.ranks_p = p;
-    } else if (const char* v = val("--level2=")) {
+      continue;
+    }
+    if (const char* v = val("--level2=")) {
       f.level2 = static_cast<unsigned>(parse_uint("--level2", v));
-    } else if (const char* v = val("--shots=")) {
+      continue;
+    }
+    if (const char* v = val("--shots=")) {
       f.shots = static_cast<std::size_t>(parse_uint(
           "--shots", v, std::numeric_limits<std::size_t>::max()));
-    } else if (const char* v = val("--dot=")) {
+      continue;
+    }
+    if (const char* v = val("--dot=")) {
       f.dot = v;
-    } else if (const char* v = val("--strategy=")) {
+      continue;
+    }
+    if (const char* v = val("--strategy=")) {
       f.strategy = parse_strategy(v);
-    } else if (const char* v = val("--backend=")) {
+      continue;
+    }
+    if (const char* v = val("--backend=")) {
       f.backend = dist::parse_backend(v);
       f.has_backend = true;
-    } else if (const char* v = val("--target=")) {
+      continue;
+    }
+    if (const char* v = val("--target=")) {
       f.target = parse_target(v);
       f.has_target = true;
-    } else if (const char* v = val("--kernel=")) {
-      f.kernel = sv::parse_kernel_tier(v);
-    } else if (a == "--json") {
-      f.json = true;
-    } else if (a == "--exact") {
-      f.exact = true;
-    } else {
-      throw Error("unknown flag: " + a);
+      continue;
     }
+    if (const char* v = val("--kernel=")) {
+      f.kernel = sv::parse_kernel_tier(v);
+      continue;
+    }
+    if (a == "--json") {
+      f.json = true;
+      continue;
+    }
+    if (a == "--exact") {
+      f.exact = true;
+      continue;
+    }
+    throw Error("unknown flag: " + a);
   }
   // Order-independent contradiction checks: a parameter cannot be both
   // pinned and swept, whichever flag came first, and sweep runs are

@@ -7,13 +7,14 @@
 #include <mutex>
 #include <sstream>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "dag/circuit_dag.hpp"
 #include "dist/backend.hpp"
 #include "dist/iqs_baseline.hpp"
+#include "hisvsim/plan_impl.hpp"
 #include "noise/trajectory.hpp"
 #include "partition/multilevel.hpp"
 #include "sv/hierarchical.hpp"
@@ -52,52 +53,6 @@ Target target_for_backend(dist::BackendKind kind) {
   return kind == dist::BackendKind::Threaded ? Target::DistributedThreaded
                                              : Target::DistributedSerial;
 }
-
-namespace detail {
-
-/// The immutable compiled state an ExecutionPlan shares. Everything here
-/// is written once by Engine::compile and only read afterwards.
-struct PlanImpl {
-  Options opt;
-  Circuit circuit;  // single-node / IQS targets execute this directly
-  /// Symbolic parameter registry of the compiled circuit (id order).
-  /// Non-empty iff the plan is parameterized, in which case every execute
-  /// resolves ExecOptions::bindings against it and materializes gate
-  /// matrices per binding — the plan structure never changes.
-  std::vector<std::string> param_names;
-  /// Compile-side noise artifact (channel table, reserved slots, readout
-  /// confusion). Empty unless the plan was compiled with Options::noise;
-  /// the instrumented circuit's NoiseSlot gates reference these slots.
-  noise::CompiledNoise noise;
-  /// Gate-count accounting of the compile-time optimization pipeline
-  /// (all-zero removals when compiled at opt_level 0).
-  OptReport opt_report;
-  /// Kernel tier resolved once at compile from Options::kernel_tier —
-  /// points at an immutable static table, so shared plans stay
-  /// thread-safe and a forced-but-unavailable tier fails at compile
-  /// instead of mid-execution.
-  const sv::KernelOps* kernels = nullptr;
-  unsigned effective_limit = 0;
-  unsigned effective_level2 = 0;
-  double compile_seconds = 0.0;
-  double partition_seconds = 0.0;
-  std::size_t parts = 0;
-  std::size_t inner_parts = 0;
-  unsigned ranks = 0;  // 0 for single-node targets
-
-  partition::Partitioning single;     // Target::Hierarchical
-  partition::TwoLevelPartitioning two;  // Target::Multilevel
-  dist::DistPlan dplan;               // Target::Distributed*
-
-  const Circuit& executed_circuit() const {
-    return target_is_distributed(opt.target) &&
-                   opt.target != Target::IqsBaseline
-               ? dplan.circuit
-               : circuit;
-  }
-};
-
-}  // namespace detail
 
 using detail::PlanImpl;
 
@@ -442,7 +397,25 @@ ExecutionPlan Engine::compile(const Circuit& c) const {
   }
 
   impl->compile_seconds = compile_timer.seconds();
-  return ExecutionPlan(std::move(impl));
+  if constexpr (checked_build) {
+    // Every gate kind is unitary by construction except raw Unitary-kind
+    // matrices: Gate::kraus deliberately skips the unitarity check, and
+    // trajectory operators enter through it. A plan is norm-preserving
+    // when no such matrix slipped in — the execute-side invariant keys
+    // off this flag.
+    impl->norm_preserving = true;
+    for (const Gate& g : impl->executed_circuit().gates())
+      if (g.kind == GateKind::Unitary && !g.custom.is_unitary(1e-9)) {
+        impl->norm_preserving = false;
+        break;
+      }
+  }
+  ExecutionPlan plan(std::move(impl));
+  // Checked builds deep-validate every freshly compiled plan right at the
+  // compile/execute seam (see ExecutionPlan::validate), so a partitioner
+  // or scheduler bug aborts here, not as a wrong amplitude much later.
+  if constexpr (checked_build) plan.validate();
+  return plan;
 }
 
 namespace {
@@ -596,11 +569,22 @@ Result ExecutionPlan::execute_impl(const ExecOptions& opts,
       for (unsigned rk = 0; rk < st.num_ranks(); ++rk)
         norm += st.local(rk).norm();
       r.norm = norm;
+      if (noise_ops.empty() && plan.norm_preserving)
+        sv::validate_norm_preserved(
+            opts.initial_state ? opts.initial_state->norm() : 1.0, r.norm,
+            "sharded execute (report-only)");
       return r;
     }
   }
 
   r.norm = state.norm();
+  // Checked builds: a unitary segment (no sampled trajectory operators, no
+  // non-unitary matrices) must preserve the initial norm — a violation
+  // means an apply kernel or the exchange lost or duplicated amplitudes.
+  if (noise_ops.empty() && plan.norm_preserving)
+    sv::validate_norm_preserved(
+        opts.initial_state ? opts.initial_state->norm() : 1.0, r.norm,
+        "execute");
   // A zero-norm state can only come from a Kraus-unraveling trajectory
   // whose sampled branch annihilated the state (weight 0): it contributes
   // nothing to any pooled statistic, so it draws no shots rather than

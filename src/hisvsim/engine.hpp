@@ -325,6 +325,19 @@ class ExecutionPlan {
   Result execute_trajectory(std::uint64_t seed,
                             const ExecOptions& opts = {}) const;
 
+  /// Deep structural validation of the compiled plan (the checked-build
+  /// layer; see common/check.hpp). Verifies that the partitioning covers
+  /// every gate exactly once with an acyclic part graph, that the
+  /// distributed exchange schedule keeps every part qubit local and
+  /// conserves every shard's amplitudes across each layout permutation,
+  /// that reserved noise-slot ids are dense and unique, and that the
+  /// resolved kernel tier agrees with what the CPU offers. Violations
+  /// abort with the failed invariant; preconditions (an empty plan) throw
+  /// hisim::Error. Builds configured with -DHISIM_CHECKED=ON run this
+  /// automatically at the end of every Engine::compile(); it is public so
+  /// tests and long-lived services can re-assert plan integrity at will.
+  void validate() const;
+
   bool valid() const { return impl_ != nullptr; }
   /// True when the plan was compiled under a non-empty Options::noise.
   bool noisy() const;

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 #include "dag/circuit_dag.hpp"
 
 namespace hisim {

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "dist/hisvsim_dist.hpp"
+#include "hisvsim/engine.hpp"
+#include "noise/trajectory.hpp"
+#include "partition/multilevel.hpp"
+#include "sv/kernel_dispatch.hpp"
+
+/// Internal: the compiled-plan representation shared by engine.cpp (which
+/// builds and executes it) and plan_validate.cpp (which deep-checks it).
+/// Not part of the public API — include hisvsim/engine.hpp instead.
+namespace hisim::detail {
+
+/// The immutable compiled state an ExecutionPlan shares. Everything here
+/// is written once by Engine::compile and only read afterwards.
+struct PlanImpl {
+  Options opt;
+  Circuit circuit;  // single-node / IQS targets execute this directly
+  /// Symbolic parameter registry of the compiled circuit (id order).
+  /// Non-empty iff the plan is parameterized, in which case every execute
+  /// resolves ExecOptions::bindings against it and materializes gate
+  /// matrices per binding — the plan structure never changes.
+  std::vector<std::string> param_names;
+  /// Compile-side noise artifact (channel table, reserved slots, readout
+  /// confusion). Empty unless the plan was compiled with Options::noise;
+  /// the instrumented circuit's NoiseSlot gates reference these slots.
+  noise::CompiledNoise noise;
+  /// Gate-count accounting of the compile-time optimization pipeline
+  /// (all-zero removals when compiled at opt_level 0).
+  OptReport opt_report;
+  /// Kernel tier resolved once at compile from Options::kernel_tier —
+  /// points at an immutable static table, so shared plans stay
+  /// thread-safe and a forced-but-unavailable tier fails at compile
+  /// instead of mid-execution.
+  const sv::KernelOps* kernels = nullptr;
+  unsigned effective_limit = 0;
+  unsigned effective_level2 = 0;
+  /// True when every compiled gate is norm-preserving (all kinds are
+  /// unitary by construction; Unitary-kind matrices are checked), so an
+  /// ideal execution must preserve the initial state's norm. Computed —
+  /// and the resulting invariant enforced — only in checked builds.
+  bool norm_preserving = false;
+  double compile_seconds = 0.0;
+  double partition_seconds = 0.0;
+  std::size_t parts = 0;
+  std::size_t inner_parts = 0;
+  unsigned ranks = 0;  // 0 for single-node targets
+
+  partition::Partitioning single;       // Target::Hierarchical
+  partition::TwoLevelPartitioning two;  // Target::Multilevel
+  dist::DistPlan dplan;                 // Target::Distributed*
+
+  const Circuit& executed_circuit() const {
+    return target_is_distributed(opt.target) &&
+                   opt.target != Target::IqsBaseline
+               ? dplan.circuit
+               : circuit;
+  }
+};
+
+}  // namespace hisim::detail

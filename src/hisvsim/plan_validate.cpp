@@ -1,0 +1,133 @@
+#include <cstddef>
+
+#include "common/check.hpp"
+#include "dag/circuit_dag.hpp"
+#include "hisvsim/plan_impl.hpp"
+#include "partition/multilevel.hpp"
+
+/// ExecutionPlan::validate() — the single-node half of the checked-build
+/// layer (common/check.hpp; the distributed half lives in
+/// dist/validate.cpp). Like dist::validate_plan, everything here re-derives
+/// the plan's contract from first principles: partitionings are re-checked
+/// against freshly built DAGs, noise slots are re-counted from the gates,
+/// and the kernel table is re-tested against the CPU — the validator never
+/// trusts the code paths that produced the plan.
+namespace hisim {
+
+namespace {
+
+using detail::PlanImpl;
+
+/// partition::validate throws hisim::Error (it predates the checked-build
+/// layer and is also a user-facing precondition check); the deep validator
+/// converts that into the abort contract so a violation cannot be swallowed
+/// by a catch block somewhere up the execute path.
+void check_partitioning(const dag::CircuitDag& dag,
+                        const partition::Partitioning& p, const char* what) {
+  try {
+    partition::validate(dag, p);
+  } catch (const Error& e) {
+    HISIM_INVARIANT(false, what << " partitioning invalid: " << e.what());
+  }
+}
+
+void check_kernels(const PlanImpl& p) {
+  HISIM_INVARIANT(p.kernels != nullptr, "plan carries no kernel ops table");
+  const sv::KernelTier tier = p.kernels->tier;
+  HISIM_INVARIANT(tier != sv::KernelTier::Auto,
+                  "plan kernel tier left unresolved (Auto) — compile must "
+                  "pin Scalar or Simd");
+  HISIM_INVARIANT(tier != sv::KernelTier::Simd || sv::simd_kernels_available(),
+                  "plan resolved the Simd kernel tier but this binary/CPU "
+                  "does not offer it");
+  // The resolved table must be the canonical one for its tier: plans share
+  // immutable static tables, never own copies.
+  HISIM_INVARIANT(p.kernels == &sv::kernel_ops(tier),
+                  "plan kernel table is not the canonical "
+                      << sv::kernel_tier_name(tier) << " table");
+}
+
+void check_params(const PlanImpl& p) {
+  // executed_circuit() is dplan.circuit for the distributed targets
+  // (impl.circuit is intentionally left empty there) and impl.circuit
+  // everywhere else — exactly the circuit whose parameters execute()
+  // resolves bindings against.
+  const std::vector<std::string>& names = p.executed_circuit().param_names();
+  HISIM_INVARIANT(names == p.param_names,
+                  "executed circuit declares "
+                      << names.size() << " symbolic parameters, plan registry "
+                      << "has " << p.param_names.size()
+                      << " (or the names/order differ)");
+}
+
+void check_target(const PlanImpl& p) {
+  const Circuit& c = p.circuit;
+  switch (p.opt.target) {
+    case Target::Flat:
+      HISIM_INVARIANT(p.parts == 1,
+                      "flat plan reports " << p.parts << " parts");
+      break;
+    case Target::Hierarchical: {
+      const dag::CircuitDag dag(c);
+      check_partitioning(dag, p.single, "hierarchical");
+      HISIM_INVARIANT(p.parts == p.single.num_parts(),
+                      "plan reports " << p.parts << " parts, partitioning has "
+                                      << p.single.num_parts());
+      break;
+    }
+    case Target::Multilevel: {
+      const dag::CircuitDag dag(c);
+      check_partitioning(dag, p.two.level1, "multilevel level-1");
+      HISIM_INVARIANT(p.two.level2.size() == p.two.level1.parts.size(),
+                      "level-2 table has " << p.two.level2.size()
+                                           << " entries for "
+                                           << p.two.level1.parts.size()
+                                           << " level-1 parts");
+      for (std::size_t i = 0; i < p.two.level2.size(); ++i) {
+        const Circuit sub =
+            partition::part_subcircuit(c, p.two.level1.parts[i]);
+        const dag::CircuitDag sdag(sub);
+        check_partitioning(sdag, p.two.level2[i], "multilevel level-2");
+      }
+      HISIM_INVARIANT(p.parts == p.two.level1.num_parts() &&
+                          p.inner_parts == p.two.total_inner_parts(),
+                      "multilevel part counts out of sync with partitioning");
+      break;
+    }
+    case Target::DistributedSerial:
+    case Target::DistributedThreaded:
+      HISIM_INVARIANT(p.ranks == (1u << p.opt.process_qubits),
+                      "plan reports " << p.ranks << " ranks for p = "
+                                      << p.opt.process_qubits);
+      HISIM_INVARIANT(p.parts == p.dplan.num_parts(),
+                      "plan reports " << p.parts
+                                      << " parts, distributed plan has "
+                                      << p.dplan.num_parts());
+      dist::validate_plan(p.dplan);
+      break;
+    case Target::IqsBaseline:
+      HISIM_INVARIANT(p.ranks == (1u << p.opt.process_qubits),
+                      "plan reports " << p.ranks << " ranks for p = "
+                                      << p.opt.process_qubits);
+      break;
+  }
+}
+
+}  // namespace
+
+void ExecutionPlan::validate() const {
+  HISIM_CHECK_MSG(valid(), "validate() called on an empty ExecutionPlan");
+  const PlanImpl& p = *impl_;
+
+  check_kernels(p);
+  check_params(p);
+
+  // Reserved noise slots must be dense, unique, and on their reserved
+  // qubits in the circuit every execute() walks. Run unconditionally: for
+  // a noiseless plan this doubles as "no stray NoiseSlot gates".
+  noise::validate_slots(p.executed_circuit(), p.noise);
+
+  check_target(p);
+}
+
+}  // namespace hisim

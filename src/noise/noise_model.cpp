@@ -3,7 +3,7 @@
 #include <cmath>
 #include <utility>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 
 namespace hisim::noise {
 namespace {

@@ -3,7 +3,7 @@
 #include <map>
 #include <utility>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 #include "common/rng.hpp"
 
 namespace hisim::noise {
@@ -135,6 +135,35 @@ void apply_readout(std::vector<Index>& samples, const CompiledNoise& cn,
       if (flip > 0.0 && rng.uniform() < flip) s ^= Index{1} << q;
     }
   }
+}
+
+void validate_slots(const Circuit& c, const CompiledNoise& cn) {
+  const std::size_t n = cn.slots.size();
+  std::vector<bool> seen(n, false);
+  std::size_t found = 0;
+  for (std::size_t i = 0; i < c.num_gates(); ++i) {
+    const Gate& g = c.gate(i);
+    if (g.kind != GateKind::NoiseSlot) continue;
+    ++found;
+    const unsigned id = g.noise_slot_id();
+    HISIM_INVARIANT(id < n, "noise slot id " << id << " out of range (plan "
+                                             << "reserved " << n << " slots)");
+    HISIM_INVARIANT(!seen[id], "noise slot id " << id
+                                                << " appears more than once");
+    seen[id] = true;
+    HISIM_INVARIANT(g.qubits.size() == 1 && g.qubits[0] == cn.slots[id].qubit,
+                    "noise slot " << id << " sits on qubit " << g.qubits[0]
+                                  << ", reserved for qubit "
+                                  << cn.slots[id].qubit);
+  }
+  HISIM_INVARIANT(found == n, "circuit carries " << found
+                                                 << " noise slots, plan "
+                                                 << "reserved " << n);
+  for (std::size_t id = 0; id < n; ++id)
+    HISIM_INVARIANT(cn.slots[id].channel < cn.channels.size(),
+                    "noise slot " << id << " references channel "
+                                  << cn.slots[id].channel << " of "
+                                  << cn.channels.size());
 }
 
 }  // namespace hisim::noise

@@ -83,4 +83,13 @@ void apply_ops(Circuit& c, std::span<const Gate> ops);
 void apply_readout(std::vector<Index>& samples, const CompiledNoise& cn,
                    std::uint64_t traj_seed);
 
+/// Deep validator (see common/check.hpp): aborts unless the NoiseSlot
+/// gates of `c` carry exactly the slot ids {0, ..., cn.slots.size() - 1},
+/// each exactly once (dense and unique — sample_ops indexes by id, so a
+/// duplicated or missing id silently misroutes sampled operators), on the
+/// qubit the slot reserved, with every slot's channel index in range.
+/// Checked builds run this through ExecutionPlan::validate(); tests
+/// corrupt a slot id and assert the abort.
+void validate_slots(const Circuit& c, const CompiledNoise& cn);
+
 }  // namespace hisim::noise

@@ -5,7 +5,7 @@
 #include <cstddef>
 #include <utility>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 
 namespace hisim {
 namespace passes {

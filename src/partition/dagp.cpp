@@ -2,7 +2,7 @@
 #include <numeric>
 #include <set>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 #include "partition/contract.hpp"
 #include "partition/partition.hpp"
 

@@ -5,7 +5,7 @@
 #include <set>
 #include <unordered_map>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 #include "partition/contract.hpp"
 
 namespace hisim::partition {

@@ -3,7 +3,7 @@
 #include <fstream>
 #include <sstream>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 #include "qasm/writer.hpp"
 
 namespace hisim::partition {

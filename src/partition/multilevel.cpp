@@ -1,6 +1,6 @@
 #include "partition/multilevel.hpp"
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 
 namespace hisim::partition {
 

@@ -8,7 +8,7 @@
 #include <sstream>
 #include <unordered_map>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 #include "qasm/lexer.hpp"
 
 namespace hisim::qasm {

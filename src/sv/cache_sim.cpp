@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "common/bits.hpp"
-#include "common/error.hpp"
+#include "common/check.hpp"
 
 namespace hisim::sv {
 

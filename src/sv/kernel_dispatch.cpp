@@ -2,7 +2,7 @@
 
 #include <cstdlib>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 
 namespace hisim::sv {
 

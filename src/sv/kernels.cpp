@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/bits.hpp"
+#include "common/check.hpp"
 #include "common/parallel.hpp"
 
 namespace hisim::sv {
@@ -138,6 +139,10 @@ std::vector<cplx> diagonal_phases(const Gate& g) {
 void apply_gate_on(StateVector& state, const Gate& g,
                    const std::vector<Qubit>& qs, const KernelOps& ops) {
   for (Qubit q : qs) HISIM_CHECK(q < state.num_qubits());
+  // Per-apply twin of the plan-level tier check (plan_validate.cpp): a
+  // Simd table must never reach dispatch on a host that cannot run it.
+  HISIM_DCHECK_MSG(ops.tier != KernelTier::Simd || simd_kernels_available(),
+                   "simd kernel table dispatched on a host without AVX2");
   // Exact identities: the id gate and an unfilled noise slot. Skipping
   // them (rather than sweeping a diagonal of ones) keeps instrumented
   // plans bit-identical to — and as fast as — their ideal circuits when

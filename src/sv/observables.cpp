@@ -7,7 +7,7 @@
 #include <sstream>
 
 #include "common/bits.hpp"
-#include "common/error.hpp"
+#include "common/check.hpp"
 #include "common/parallel.hpp"
 
 namespace hisim::sv {

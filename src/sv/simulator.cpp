@@ -1,6 +1,6 @@
 #include "sv/simulator.hpp"
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 #include "sv/kernels.hpp"
 
 namespace hisim::sv {

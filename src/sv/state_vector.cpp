@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/bits.hpp"
+#include "common/check.hpp"
 
 namespace hisim::sv {
 
@@ -39,6 +40,20 @@ double StateVector::fidelity(const StateVector& other) const {
 void StateVector::reset() {
   std::fill(amps_.begin(), amps_.end(), cplx{});
   amps_[0] = 1.0;
+}
+
+void validate_norm_preserved(double expected, double actual,
+                             const char* where) {
+  // A unitary gate accumulates O(eps) relative norm drift per application;
+  // 1e-9 absolute headroom covers tens of thousands of gates at double
+  // precision while still catching any real loss (a dropped amplitude
+  // pair changes the norm by its probability mass, orders of magnitude
+  // above rounding).
+  const double tol = 1e-9 * std::max(1.0, expected);
+  HISIM_INVARIANT(std::abs(actual - expected) <= tol,
+                  "state norm not preserved across unitary segment ["
+                      << where << "]: expected " << expected << ", got "
+                      << actual);
 }
 
 }  // namespace hisim::sv

@@ -2,7 +2,7 @@
 
 #include <vector>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 #include "common/types.hpp"
 
 namespace hisim::sv {
@@ -48,5 +48,14 @@ class StateVector {
   unsigned num_qubits_ = 0;
   std::vector<cplx> amps_;
 };
+
+/// Deep validator (see common/check.hpp): aborts unless `actual` matches
+/// `expected` within the accumulated-rounding tolerance a unitary gate
+/// sequence may introduce. `where` names the seam for the failure message.
+/// Called by the execute paths of checked builds after every unitary
+/// segment; callable directly by tests (death tests corrupt a norm and
+/// assert the abort).
+void validate_norm_preserved(double expected, double actual,
+                             const char* where);
 
 }  // namespace hisim::sv

@@ -149,10 +149,10 @@ INSTANTIATE_TEST_SUITE_P(
                       CircuitCase{"qaoa", 8, 2, 4},
                       CircuitCase{"grover", 7, 2, 0},
                       CircuitCase{"cc", 9, 3, 0}),
-    [](const auto& info) {
-      return std::string(info.param.name) + "_p" +
-             std::to_string(info.param.p) + "_l2" +
-             std::to_string(info.param.level2);
+    [](const auto& ti) {
+      return std::string(ti.param.name) + "_p" +
+             std::to_string(ti.param.p) + "_l2" +
+             std::to_string(ti.param.level2);
     });
 
 TEST(BackendParity, IqsBaselineMatchesSerial) {

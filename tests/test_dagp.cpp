@@ -47,9 +47,9 @@ INSTANTIATE_TEST_SUITE_P(
                       Case{"cc", 10, 6}, Case{"qnn", 8, 5},
                       Case{"qpe", 8, 5}, Case{"adder37", 10, 6},
                       Case{"grover", 8, 8}),
-    [](const auto& info) {
-      return info.param.name + "_q" + std::to_string(info.param.qubits) +
-             "_L" + std::to_string(info.param.limit);
+    [](const auto& ti) {
+      return ti.param.name + "_q" + std::to_string(ti.param.qubits) +
+             "_L" + std::to_string(ti.param.limit);
     });
 
 TEST(Dagp, SinglePartWhenCircuitFits) {

@@ -86,10 +86,10 @@ INSTANTIATE_TEST_SUITE_P(
         DistCase{"qnn", 8, 2, partition::Strategy::Nat, 0},
         DistCase{"adder37", 10, 2, partition::Strategy::DagP, 0},
         DistCase{"grover", 7, 2, partition::Strategy::DagP, 0}),
-    [](const auto& info) {
-      return info.param.name + "_p" + std::to_string(info.param.p) + "_" +
-             partition::strategy_name(info.param.strategy) + "_l2" +
-             std::to_string(info.param.level2);
+    [](const auto& ti) {
+      return ti.param.name + "_p" + std::to_string(ti.param.p) + "_" +
+             partition::strategy_name(ti.param.strategy) + "_l2" +
+             std::to_string(ti.param.level2);
     });
 
 TEST(Distributed, AtMostOneRedistributionPerPart) {

@@ -72,8 +72,8 @@ INSTANTIATE_TEST_SUITE_P(
                       FuseCase{"qnn", 7, 3}, FuseCase{"qpe", 7, 4},
                       FuseCase{"adder37", 8, 4}, FuseCase{"cc", 8, 3},
                       FuseCase{"grover", 7, 5}),
-    [](const auto& info) {
-      return info.param.name + "_k" + std::to_string(info.param.max_qubits);
+    [](const auto& ti) {
+      return ti.param.name + "_k" + std::to_string(ti.param.max_qubits);
     });
 
 TEST(Fusion, WideGatesPassThrough) {

@@ -53,9 +53,9 @@ INSTANTIATE_TEST_SUITE_P(
         Case{"qpe", 8, 5, partition::Strategy::DagP},
         Case{"grover", 7, 7, partition::Strategy::DagP},
         Case{"adder37", 10, 6, partition::Strategy::DagP}),
-    [](const auto& info) {
-      return info.param.name + "_L" + std::to_string(info.param.limit) + "_" +
-             partition::strategy_name(info.param.strategy);
+    [](const auto& ti) {
+      return ti.param.name + "_L" + std::to_string(ti.param.limit) + "_" +
+             partition::strategy_name(ti.param.strategy);
     });
 
 TEST(Hierarchical, SinglePartEqualsFlat) {

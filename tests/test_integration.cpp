@@ -98,7 +98,7 @@ INSTANTIATE_TEST_SUITE_P(
     Suite, FullPipeline,
     ::testing::Values("cat_state", "bv", "qaoa", "cc", "ising", "qft", "qnn",
                       "grover", "qpe", "adder37"),
-    [](const auto& info) { return info.param; });
+    [](const auto& ti) { return ti.param; });
 
 TEST(Integration, FusionThenDistributedThenSampling) {
   // The full user workflow: fuse, partition with dagP, run on the

@@ -36,8 +36,8 @@ INSTANTIATE_TEST_SUITE_P(
                       IqsCase{"qaoa", 8, 2}, IqsCase{"cc", 9, 3},
                       IqsCase{"qpe", 8, 2}, IqsCase{"qnn", 8, 2},
                       IqsCase{"adder37", 10, 2}, IqsCase{"grover", 7, 2}),
-    [](const auto& info) {
-      return info.param.name + "_p" + std::to_string(info.param.p);
+    [](const auto& ti) {
+      return ti.param.name + "_p" + std::to_string(ti.param.p);
     });
 
 TEST(Iqs, LocalGatesAreFree) {

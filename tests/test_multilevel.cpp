@@ -68,10 +68,10 @@ INSTANTIATE_TEST_SUITE_P(
                       MlCase{"qpe", 8, 5, 3, 5},
                       MlCase{"adder37", 10, 6, 4, 0},
                       MlCase{"qnn", 8, 5, 2, 0}),
-    [](const auto& info) {
-      return info.param.name + "_l1" + std::to_string(info.param.l1) + "_l2" +
-             std::to_string(info.param.l2) + "_pad" +
-             std::to_string(info.param.pad);
+    [](const auto& ti) {
+      return ti.param.name + "_l1" + std::to_string(ti.param.l1) + "_l2" +
+             std::to_string(ti.param.l2) + "_pad" +
+             std::to_string(ti.param.pad);
     });
 
 TEST(TwoLevelSim, PaddingReducesInnerIterations) {

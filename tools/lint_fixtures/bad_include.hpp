@@ -1,0 +1,7 @@
+// Self-test fixture: both include-hygiene violations must trip the
+// `include` rule.
+#pragma once
+
+#include "../common/types.hpp"
+
+using namespace std;

@@ -1,0 +1,11 @@
+// Self-test fixture: every construct here must trip the `rng` rule.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int nondeterministic() {
+  std::srand(static_cast<unsigned>(std::time(nullptr)));
+  std::random_device rd;
+  std::mt19937 gen;  // unseeded
+  return std::rand() + static_cast<int>(rd()) + static_cast<int>(gen());
+}

@@ -1,0 +1,10 @@
+// Self-test fixture: AVX2 intrinsics outside the dedicated -mavx2 TU
+// must trip the `simd` rule.
+#include <immintrin.h>
+
+double sum2(const double* p) {
+  __m256d v = _mm256_loadu_pd(p);
+  double out[4];
+  _mm256_storeu_pd(out, v);
+  return out[0] + out[1] + out[2] + out[3];
+}

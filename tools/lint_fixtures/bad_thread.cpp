@@ -1,0 +1,8 @@
+// Self-test fixture: raw std::thread outside the worker pool / threaded
+// backend must trip the `thread` rule.
+#include <thread>
+
+void fire_and_forget() {
+  std::thread t([] {});
+  t.join();
+}

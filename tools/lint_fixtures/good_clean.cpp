@@ -1,0 +1,11 @@
+// Self-test fixture: idiomatic code the linter must not flag.
+#include <cstdint>
+#include <vector>
+
+namespace hisim {
+
+std::uint64_t runtime(std::uint64_t x) { return x * 2; }
+
+std::vector<int> threads_of_execution() { return {1, 2, 3}; }
+
+}  // namespace hisim

@@ -1,0 +1,12 @@
+// Self-test fixture: restricted tokens inside comments and string
+// literals must NOT be flagged — the linter strips both before matching.
+//
+// Discussion of std::thread, std::random_device, rand(), time(nullptr),
+// and _mm256_add_pd in prose is fine.
+#include <string>
+
+/* block comment: std::mt19937 gen; __m256d v; #include <immintrin.h> */
+
+std::string describe() {
+  return "uses std::thread and _mm256_loadu_pd and time(ms) internally";
+}
