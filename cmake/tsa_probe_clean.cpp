@@ -1,0 +1,25 @@
+// Positive-control probe for the thread-safety gate (see CMakeLists.txt):
+// correct lock discipline over the annotated wrappers that MUST compile
+// under Clang with -Werror=thread-safety. Its job is to prove a failure
+// of the violation probe comes from the analysis catching the seeded bug,
+// not from the probe setup being broken.
+#include "common/parallel.hpp"
+
+namespace {
+
+struct Counter {
+  hisim::Mutex mu;
+  int value HISIM_GUARDED_BY(mu) = 0;
+
+  int read_locked() {
+    hisim::MutexLock lk(mu);
+    return value;
+  }
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  return c.read_locked();
+}

@@ -1,0 +1,23 @@
+// Negative-compile probe for the thread-safety gate (see CMakeLists.txt):
+// a seeded HISIM_GUARDED_BY violation that MUST fail to compile under
+// Clang with -Werror=thread-safety. If this file ever compiles there, the
+// analysis is inert (macros broken, flags dropped) and the configure step
+// aborts — a green thread-safety CI job must mean the analysis ran.
+#include "common/parallel.hpp"
+
+namespace {
+
+struct Counter {
+  hisim::Mutex mu;
+  int value HISIM_GUARDED_BY(mu) = 0;
+
+  // Violation: reads `value` without holding `mu`.
+  int read_unlocked() const { return value; }
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  return c.read_unlocked();
+}

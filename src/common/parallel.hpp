@@ -1,13 +1,87 @@
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 
 namespace hisim {
+
+/// Capability-annotated mutex. Raw std::mutex is invisible to Clang's
+/// thread-safety analysis, so every lock in src/ is one of these (the
+/// hisim-lint `mutex` rule confines the std primitives to this module):
+/// fields the mutex protects carry HISIM_GUARDED_BY(mu_), and the
+/// analysis then proves — on every Clang build — that no code path
+/// touches them without holding the lock. Non-reentrant, like the
+/// std::mutex it wraps.
+class HISIM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() HISIM_ACQUIRE() { mu_.lock(); }
+  void unlock() HISIM_RELEASE() { mu_.unlock(); }
+  bool try_lock() HISIM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// RAII scoped lock over a Mutex (the only idiomatic way to hold one:
+/// scoped acquisition is what the analysis reasons about best). Always
+/// holds the lock for its whole lifetime; CondVar::wait releases and
+/// re-acquires it internally without changing the held-capability state.
+class HISIM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) HISIM_ACQUIRE(mu) : lk_(mu.mu_) {}
+  ~MutexLock() HISIM_RELEASE() {}
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lk_;
+};
+
+/// Condition variable paired with Mutex/MutexLock.
+///
+/// wait() carries no HISIM_REQUIRES annotation: the capability it needs
+/// is "the mutex `lk` holds", and the analysis cannot alias a scoped
+/// lock's capability through an accessor, so any spelling would produce
+/// false positives at every call site. Holding the lock is instead
+/// guaranteed by construction (a MutexLock exists in the calling scope)
+/// — which is exactly what makes guarded reads in the canonical wait
+/// idiom check out:
+///
+///   MutexLock lk(mu_);
+///   while (!ready_) cv_.wait(lk);   // ready_ is HISIM_GUARDED_BY(mu_)
+///
+/// There is deliberately no predicate-lambda overload: the lambda body
+/// would be analyzed as a separate function that does not know mu_ is
+/// held, failing the analysis on precisely the reads it should accept.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases lk's mutex and blocks; the mutex is re-acquired
+  /// before returning. Spurious wakeups possible — always wait in a loop.
+  void wait(MutexLock& lk) { cv_.wait(lk.lk_); }
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
 
 /// Shared-memory parallelism shim. The state-vector kernels call
 /// parallel_for over amplitude ranges; on a single-core host this runs

@@ -1,0 +1,78 @@
+#pragma once
+
+/// Clang thread-safety-analysis capability annotations (no-ops on every
+/// other compiler). The analysis proves lock discipline at compile time:
+/// a field marked HISIM_GUARDED_BY(mu) may only be touched while `mu` is
+/// held, and -Werror=thread-safety (on under Clang + HISIM_WERROR, and in
+/// the `thread-safety` CI job) turns every violation into a build break.
+///
+/// Raw std::mutex is invisible to the analysis, so all locking in src/
+/// goes through the annotated hisim::Mutex / hisim::MutexLock /
+/// hisim::CondVar wrappers in common/parallel.hpp (enforced by the
+/// hisim-lint `mutex` rule). Conventions:
+///
+///   - Guarded fields carry HISIM_GUARDED_BY(mu_) on the declaration.
+///   - Locks are scoped: `MutexLock lk(mu_);` — never bare lock()/unlock()
+///     pairs across branches.
+///   - Condition waits are explicit loops in the locked scope,
+///     `while (!ready_) cv_.wait(lk);`, never predicate lambdas: a lambda
+///     body is analyzed as a separate function that does not know the
+///     lock is held, so guarded reads inside it would (rightly) fail the
+///     analysis.
+///   - HISIM_NO_THREAD_SAFETY_ANALYSIS is reserved for code whose safety
+///     argument is a publication protocol the analysis cannot express;
+///     the only sanctioned escape is inside common/parallel.cpp (see
+///     Pool::work), and each use must document its protocol.
+///
+/// Macro set and spelling follow the canonical Clang documentation /
+/// Abseil thread_annotations.h so the semantics are exactly the
+/// upstream-tested ones.
+
+#if defined(__clang__)
+#define HISIM_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define HISIM_THREAD_ANNOTATION__(x)  // no-op off Clang
+#endif
+
+/// Marks a class as a lockable capability (e.g. a mutex type).
+#define HISIM_CAPABILITY(x) HISIM_THREAD_ANNOTATION__(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases
+/// a capability.
+#define HISIM_SCOPED_CAPABILITY HISIM_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Field may only be accessed while holding the given capability.
+#define HISIM_GUARDED_BY(x) HISIM_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer field whose *pointee* is protected by the given capability.
+#define HISIM_PT_GUARDED_BY(x) HISIM_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Function acquires the capability (held on return, not on entry).
+#define HISIM_ACQUIRE(...) \
+  HISIM_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (held on entry, not on return).
+#define HISIM_RELEASE(...) \
+  HISIM_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition; first argument is the success
+/// return value.
+#define HISIM_TRY_ACQUIRE(...) \
+  HISIM_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must hold the capability for the duration of the call.
+#define HISIM_REQUIRES(...) \
+  HISIM_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (deadlock prevention on
+/// non-reentrant locks).
+#define HISIM_EXCLUDES(...) HISIM_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define HISIM_RETURN_CAPABILITY(x) HISIM_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch: function body is not analyzed. Sanctioned only inside
+/// common/parallel.cpp internals; every use documents the out-of-band
+/// synchronization protocol that replaces the proof.
+#define HISIM_NO_THREAD_SAFETY_ANALYSIS \
+  HISIM_THREAD_ANNOTATION__(no_thread_safety_analysis)

@@ -1,9 +1,6 @@
 #include "dist/backend.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <condition_variable>
-#include <mutex>
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
@@ -56,7 +53,9 @@ class ReadyHandle final : public ExchangeHandle {
 };
 
 /// Handle owning the per-host movement threads. Shard arrival is flagged
-/// under one mutex/condvar pair; completion of the whole exchange is a
+/// under one mutex/condvar pair (annotated: done_ and in_flight_ are
+/// HISIM_GUARDED_BY(mu_), so the wait/signal protocol is proven at
+/// compile time on Clang builds); completion of the whole exchange is a
 /// parallel::latch counted down once per worker, so wait_all() does not
 /// need to join threads (the task_group joins on destruction). The
 /// in-flight window is measured from spawn to the last worker's finish
@@ -79,13 +78,13 @@ class ThreadedHandle final : public ExchangeHandle {
   ~ThreadedHandle() override { group_.join(); }
 
   void wait_shard(unsigned rank) override {
-    std::unique_lock lk(mu_);
-    cv_.wait(lk, [&] { return done_[rank] != 0; });
+    MutexLock lk(mu_);
+    while (done_[rank] == 0) cv_.wait(lk);
   }
 
   void wait_all() override {
     finished_.wait();
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     seconds_ = in_flight_;
   }
 
@@ -101,27 +100,30 @@ class ThreadedHandle final : public ExchangeHandle {
       for (unsigned r2 = r_begin; r2 < r_end; ++r2) {
         fill_shard(plan_, r2, /*use_pool=*/false);
         {
-          std::lock_guard lk(mu_);
+          MutexLock lk(mu_);
           done_[r2] = 1;
         }
         cv_.notify_all();
       }
     }
     {
-      std::lock_guard lk(mu_);
+      MutexLock lk(mu_);
       in_flight_ = std::max(in_flight_, timer_.seconds());
     }
     finished_.count_down();
   }
 
-  ExchangePlan plan_;
+  ExchangePlan plan_;  // immutable after construction; read lock-free
   Timer timer_;  // starts when the handle (and its workers) is created
   parallel::task_group group_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<std::uint8_t> done_;
+  Mutex mu_;
+  CondVar cv_;
+  std::vector<std::uint8_t> done_ HISIM_GUARDED_BY(mu_);
   parallel::latch finished_;  // one count per worker
-  double in_flight_ = 0.0;    // spawn → last worker finished
+  // Spawn → last worker finished, folded in by each finishing worker.
+  double in_flight_ HISIM_GUARDED_BY(mu_) = 0.0;
+  // Snapshotted from in_flight_ by wait_all(); per the ExchangeHandle
+  // contract seconds() is only called after wait_all(), single-threaded.
   double seconds_ = 0.0;
 };
 

@@ -1,7 +1,6 @@
 #include "dist/hisvsim_dist.hpp"
 
 #include <algorithm>
-#include <mutex>
 
 #include "circuit/decompose.hpp"
 #include "common/check.hpp"
@@ -171,7 +170,7 @@ DistRunReport execute_plan(const DistPlan& plan, DistState& state,
     // shard-locally. Ranks are independent, so the apply loop fans out
     // over parallel::for_range (one rank per chunk); shard contents are
     // identical to a serial sweep.
-    std::mutex comp_mu;
+    Mutex comp_mu;
     // Compute window on the part clock: first rank starting to apply
     // (after its shard arrived) → last rank finished.
     double comp_begin = -1.0, comp_end = 0.0;
@@ -192,7 +191,7 @@ DistRunReport execute_plan(const DistPlan& plan, DistState& state,
                              state.local(rank), scratch, &kops);
             }
             const double t1 = wall.seconds();
-            std::lock_guard lk(comp_mu);
+            MutexLock lk(comp_mu);
             if (comp_begin < 0.0 || t0 < comp_begin) comp_begin = t0;
             comp_end = std::max(comp_end, t1);
           }

@@ -4,7 +4,6 @@
 #include <cmath>
 #include <cstdio>
 #include <exception>
-#include <mutex>
 #include <sstream>
 
 #include "common/check.hpp"
@@ -131,7 +130,7 @@ void json_params(std::ostringstream& os, bool& first,
 /// worker loop. Shared by execute_sweep and execute_trajectories.
 void run_indexed_on_pool(std::size_t count,
                          const std::function<void(std::size_t)>& fn) {
-  std::mutex err_mu;
+  Mutex err_mu;
   std::exception_ptr first_error;
   parallel::for_range(
       0, count,
@@ -140,7 +139,7 @@ void run_indexed_on_pool(std::size_t count,
           try {
             fn(static_cast<std::size_t>(i));
           } catch (...) {
-            std::lock_guard lk(err_mu);
+            MutexLock lk(err_mu);
             if (!first_error) first_error = std::current_exception();
             return;
           }

@@ -15,7 +15,17 @@
 namespace hisim::detail {
 
 /// The immutable compiled state an ExecutionPlan shares. Everything here
-/// is written once by Engine::compile and only read afterwards.
+/// is written once by Engine::compile and only read afterwards — that
+/// write-once/read-many lifecycle (not a lock) is the thread-safety
+/// argument for concurrent execute()/execute_sweep()/
+/// execute_trajectories() on one plan, so no field carries a
+/// HISIM_GUARDED_BY capability: there is no mutable shared state to
+/// guard. Anything mutable an execute needs (bound circuits, sampled
+/// noise ops, per-point Results) lives on that execute's stack; the only
+/// locks on the execute path are the worker pool's own (common/
+/// parallel.cpp) and the error-capture Mutex in run_indexed_on_pool.
+/// Keep it that way: a mutable member added here would need a capability
+/// and would serialize every concurrent execute.
 struct PlanImpl {
   Options opt;
   Circuit circuit;  // single-node / IQS targets execute this directly

@@ -34,6 +34,11 @@ std::string strategy_name(Strategy s) {
 }
 
 namespace {
+// Deliberately an atomic, not a Mutex-guarded counter: make_partition is
+// called concurrently from sweep/trajectory compiles, the counter is the
+// only shared state, and relaxed ordering suffices (tests only compare
+// before/after snapshots around quiescent points). Thread-safety
+// analysis has nothing to prove here — atomics are their own capability.
 std::atomic<std::uint64_t> g_partition_invocations{0};
 }  // namespace
 

@@ -55,7 +55,10 @@ const KernelOps& simd_ops_checked() {
 /// available tier. Resolved once — the choice must not change mid-run.
 const KernelOps& auto_ops() {
   static const KernelOps& ops = []() -> const KernelOps& {
-    if (const char* env = std::getenv("HISIM_KERNEL");
+    // getenv is safe here despite concurrency-mt-unsafe's blanket rule:
+    // the read happens once (static init below), and nothing in the
+    // process calls setenv/putenv.
+    if (const char* env = std::getenv("HISIM_KERNEL");  // NOLINT(concurrency-mt-unsafe)
         env != nullptr && *env != '\0') {
       const KernelTier forced = parse_kernel_tier(env);
       if (forced == KernelTier::Scalar) return scalar_kernel_ops();

@@ -1,0 +1,207 @@
+// Semantics of the capability-annotated concurrency wrappers
+// (hisim::Mutex / MutexLock / CondVar, src/common/parallel.hpp): mutual
+// exclusion, try-lock, RAII release, condvar wait/notify including the
+// release-while-blocked guarantee. The *static* half of the contract —
+// that a HISIM_GUARDED_BY violation fails to compile — cannot live in a
+// test binary; it is the configure-time negative-compile gate in
+// CMakeLists.txt (cmake/tsa_probe_violation.cpp must be rejected under
+// Clang -Werror=thread-safety, the clean probe accepted).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/parallel.hpp"
+
+namespace {
+
+using hisim::CondVar;
+using hisim::Mutex;
+using hisim::MutexLock;
+using hisim::parallel::latch;
+using hisim::parallel::task_group;
+
+TEST(MutexTest, TryLockReflectsOwnership) {
+  Mutex mu;
+  ASSERT_TRUE(mu.try_lock());  // free -> acquired
+  // Another thread must fail to acquire while we hold it. (Same-thread
+  // re-try_lock on a std::mutex is UB, so probe from a helper thread.)
+  bool acquired = true;
+  {
+    task_group tg;
+    tg.spawn([&] { acquired = mu.try_lock(); });
+  }
+  EXPECT_FALSE(acquired);
+  mu.unlock();
+  {
+    task_group tg;
+    tg.spawn([&] {
+      acquired = mu.try_lock();
+      if (acquired) mu.unlock();
+    });
+  }
+  EXPECT_TRUE(acquired);
+}
+
+TEST(MutexLockTest, ReleasesAtScopeExit) {
+  Mutex mu;
+  {
+    MutexLock lk(mu);
+    bool acquired = true;
+    task_group tg;
+    tg.spawn([&] { acquired = mu.try_lock(); });
+    tg.join();
+    EXPECT_FALSE(acquired);  // held by the MutexLock
+  }
+  // Scope exited -> released.
+  bool acquired = false;
+  task_group tg;
+  tg.spawn([&] {
+    acquired = mu.try_lock();
+    if (acquired) mu.unlock();
+  });
+  tg.join();
+  EXPECT_TRUE(acquired);
+}
+
+TEST(MutexTest, MutualExclusionUnderContention) {
+  // 8 threads x 10k unguarded-int increments: without mutual exclusion
+  // the final count would (overwhelmingly likely, and under TSan
+  // certainly) come up short or race.
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10000;
+  Mutex mu;
+  long long count = 0;
+  {
+    task_group tg;
+    for (int t = 0; t < kThreads; ++t) {
+      tg.spawn([&] {
+        for (int i = 0; i < kIters; ++i) {
+          MutexLock lk(mu);
+          ++count;
+        }
+      });
+    }
+  }
+  MutexLock lk(mu);
+  EXPECT_EQ(count, static_cast<long long>(kThreads) * kIters);
+}
+
+TEST(CondVarTest, WaitReleasesMutexWhileBlockedAndWakesOnNotify) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;    // waited on by the helper
+  bool waiting = false;  // set by the helper once it holds mu
+  latch entered(1);
+
+  task_group tg;
+  tg.spawn([&] {
+    MutexLock lk(mu);
+    waiting = true;
+    entered.count_down();
+    while (!ready) cv.wait(lk);  // canonical loop, no predicate lambda
+    waiting = false;
+  });
+
+  // The helper signalled *after* acquiring mu; that we can acquire it now
+  // proves wait() released the mutex while blocked.
+  entered.wait();
+  {
+    MutexLock lk(mu);
+    EXPECT_TRUE(waiting);
+    ready = true;
+  }
+  cv.notify_one();
+  tg.join();
+  MutexLock lk(mu);
+  EXPECT_FALSE(waiting);
+}
+
+TEST(CondVarTest, NotifyAllWakesEveryWaiter) {
+  constexpr int kWaiters = 4;
+  Mutex mu;
+  CondVar cv;
+  bool go = false;
+  int awake = 0;
+  latch all_waiting(kWaiters);
+
+  task_group tg;
+  for (int t = 0; t < kWaiters; ++t) {
+    tg.spawn([&] {
+      {
+        MutexLock lk(mu);
+        all_waiting.count_down();
+        while (!go) cv.wait(lk);
+        ++awake;
+      }
+    });
+  }
+  // Every waiter holds-then-releases mu inside wait() before we flip go,
+  // so none can observe go==true without actually having waited.
+  all_waiting.wait();
+  {
+    MutexLock lk(mu);
+    go = true;
+  }
+  cv.notify_all();
+  tg.join();
+  MutexLock lk(mu);
+  EXPECT_EQ(awake, kWaiters);
+}
+
+TEST(CondVarTest, ProducerConsumerOrdering) {
+  // Single-slot handoff of 1..100: the consumer must read every value
+  // exactly once and in order — exercises repeated wait/notify cycles in
+  // both directions over one Mutex.
+  constexpr int kItems = 100;
+  Mutex mu;
+  CondVar cv;
+  int slot = 0;
+  bool full = false;
+  std::vector<int> received;
+
+  task_group tg;
+  tg.spawn([&] {  // producer
+    for (int i = 1; i <= kItems; ++i) {
+      MutexLock lk(mu);
+      while (full) cv.wait(lk);
+      slot = i;
+      full = true;
+      cv.notify_all();
+    }
+  });
+  tg.spawn([&] {  // consumer
+    for (int i = 0; i < kItems; ++i) {
+      MutexLock lk(mu);
+      while (!full) cv.wait(lk);
+      received.push_back(slot);
+      full = false;
+      cv.notify_all();
+    }
+  });
+  tg.join();
+
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) EXPECT_EQ(received[i], i + 1);
+}
+
+TEST(ThreadAnnotationsTest, MacrosCompileAsWrittenInGuardedCode) {
+  // Annotated struct used with correct discipline: compiles under the
+  // Clang analysis (and trivially everywhere else). The matching
+  // negative case — touching `value` without the lock — is proven
+  // rejected by the configure-time probe, not here.
+  struct Guarded {
+    Mutex mu;
+    int value HISIM_GUARDED_BY(mu) = 0;
+
+    int bump() {
+      MutexLock lk(mu);
+      return ++value;
+    }
+  };
+  Guarded g;
+  EXPECT_EQ(g.bump(), 1);
+  EXPECT_EQ(g.bump(), 2);
+}
+
+}  // namespace

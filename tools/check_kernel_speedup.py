@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""CI perf gate over bench_kernels --json output.
+
+Reads the bench payload from stdin (or a file argument) and fails unless
+the simd tier beats scalar on the dense_1q case by at least the floor
+(default 1.5x, override with --min). The floor is deliberately far below
+the recorded ~2.4x (BENCH_kernels.json): the gate exists to catch the
+vector tier silently degrading to scalar-ish throughput — a dispatch
+regression or a de-vectorized kernel — not to pin an exact number on
+noisy shared CI hosts.
+
+Usage:
+    bench_kernels --json --quick | check_kernel_speedup.py [--min 1.5]
+    check_kernel_speedup.py bench_output.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def main(argv):
+    ap = argparse.ArgumentParser()
+    ap.add_argument("payload", nargs="?", help="bench JSON file (default stdin)")
+    ap.add_argument("--case", default="dense_1q")
+    ap.add_argument("--tier", default="simd")
+    ap.add_argument("--min", type=float, default=1.5,
+                    help="minimum speedup_vs_scalar (default 1.5)")
+    args = ap.parse_args(argv[1:])
+
+    if args.payload:
+        with open(args.payload, encoding="utf-8") as f:
+            data = json.load(f)
+    else:
+        data = json.load(sys.stdin)
+
+    if not data.get("simd_available", False):
+        # Nothing to gate on a non-AVX2 host; the containment lint and the
+        # scalar test pass still cover that configuration.
+        print("check_kernel_speedup: simd tier unavailable on this host; "
+              "skipping")
+        return 0
+
+    for case in data.get("cases", []):
+        if case.get("case") != args.case:
+            continue
+        for tier in case.get("tiers", []):
+            if tier.get("tier") != args.tier:
+                continue
+            speedup = float(tier["speedup_vs_scalar"])
+            verdict = "OK" if speedup >= args.min else "FAIL"
+            print(f"check_kernel_speedup: {args.case}/{args.tier} "
+                  f"{speedup:.3f}x vs scalar (floor {args.min}x) {verdict}")
+            return 0 if speedup >= args.min else 1
+        print(f"check_kernel_speedup: case '{args.case}' has no tier "
+              f"'{args.tier}'")
+        return 1
+    print(f"check_kernel_speedup: no case '{args.case}' in payload")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -15,9 +15,21 @@ Four rule families (see docs/ARCHITECTURE.md, "Correctness tooling"):
             hosts, defeating the runtime-dispatch design.
 
   thread    Raw std::thread / std::jthread are confined to the worker-pool
-            module and the threaded exchange backend. Everything else must
-            go through hisim::task_group so thread counts, affinity, and
-            sanitizer suppressions stay centralized.
+            module. Everything else must go through hisim::task_group so
+            thread counts, affinity, and sanitizer suppressions stay
+            centralized.
+
+  mutex     Raw std::mutex / std::condition_variable / std::lock_guard /
+            std::unique_lock / std::scoped_lock are confined to
+            src/common/parallel.* -- everywhere else in src/ must use the
+            capability-annotated hisim::Mutex / MutexLock / CondVar
+            wrappers, or Clang's thread-safety analysis cannot see the
+            locking (src/common/thread_annotations.hpp).
+
+  sleep     std::this_thread::sleep_for/sleep_until are forbidden in src/:
+            production code never synchronizes by sleeping -- use a CondVar
+            wait or a latch. (Tests/benches are exempt; timing probes
+            there are legitimate.)
 
   include   Hygiene: no relative-parent ("../") includes (all project
             includes are rooted at src/), and no `using namespace` at
@@ -48,7 +60,12 @@ SANCTIONED = {
     "thread": {
         "src/common/parallel.hpp",
         "src/common/parallel.cpp",
-        "src/dist/backend.cpp",
+    },
+    # The annotated wrappers themselves are the only place the raw
+    # primitives may appear; everything else uses hisim::Mutex et al.
+    "mutex": {
+        "src/common/parallel.hpp",
+        "src/common/parallel.cpp",
     },
 }
 
@@ -73,6 +90,11 @@ SIMD_PATTERNS = [
     (re.compile(r"\b__m256[id]?\b"), "AVX2 vector type"),
 ]
 THREAD_PATTERN = re.compile(r"std\s*::\s*j?thread\b")
+MUTEX_PATTERN = re.compile(
+    r"std\s*::\s*(?:recursive_|timed_|shared_)?mutex\b"
+    r"|std\s*::\s*condition_variable(?:_any)?\b"
+    r"|std\s*::\s*(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b")
+SLEEP_PATTERN = re.compile(r"std\s*::\s*this_thread\s*::\s*sleep_(?:for|until)\b")
 PARENT_INCLUDE = re.compile(r'#\s*include\s*"\.\./')
 USING_NAMESPACE = re.compile(r"\busing\s+namespace\b")
 
@@ -140,8 +162,20 @@ def lint_file(rel, text, sanctioned=SANCTIONED):
                 and THREAD_PATTERN.search(line):
             findings.append((rel, i, "thread",
                              "raw std::thread outside the worker pool "
-                             "(src/common/parallel.*) / threaded backend "
-                             "(src/dist/backend.cpp); use hisim::task_group"))
+                             "(src/common/parallel.*); use "
+                             "hisim::task_group"))
+        if in_src and rel not in sanctioned["mutex"] \
+                and MUTEX_PATTERN.search(line):
+            findings.append((rel, i, "mutex",
+                             "raw std:: locking primitive outside "
+                             "src/common/parallel.*; use the annotated "
+                             "hisim::Mutex/MutexLock/CondVar wrappers so "
+                             "the thread-safety analysis sees the lock"))
+        if in_src and SLEEP_PATTERN.search(line):
+            findings.append((rel, i, "sleep",
+                             "std::this_thread::sleep_* in production "
+                             "code: synchronize with a CondVar wait or a "
+                             "latch, never by sleeping"))
     return findings
 
 
@@ -168,6 +202,8 @@ FIXTURE_EXPECT = {
     "bad_rng.cpp": {"rng"},
     "bad_simd.cpp": {"simd"},
     "bad_thread.cpp": {"thread"},
+    "bad_mutex.cpp": {"mutex"},
+    "bad_sleep.cpp": {"sleep"},
     "bad_include.hpp": {"include"},
     "good_clean.cpp": set(),
     "good_commented.cpp": set(),
@@ -195,6 +231,19 @@ def self_test(script_dir):
                                  "#include <random>\nstd::random_device d;\n")
     if any(rule == "rng" for _, _, rule, _ in sanctioned_probe):
         failures.append("sanctioned file src/common/rng.hpp was flagged")
+    wrapper_probe = lint_file("src/common/parallel.hpp",
+                              "#include <mutex>\nstd::mutex mu;\n"
+                              "std::unique_lock<std::mutex> lk(mu);\n")
+    if any(rule == "mutex" for _, _, rule, _ in wrapper_probe):
+        failures.append("sanctioned file src/common/parallel.hpp was "
+                        "flagged for mutex")
+    # The mutex/sleep rules police src/ only: tests may lock and sleep.
+    test_probe = lint_file(
+        "tests/test_x.cpp",
+        "#include <mutex>\nstd::mutex mu;\n"
+        "void f() { std::this_thread::sleep_for(d); }\n")
+    if any(rule in ("mutex", "sleep") for _, _, rule, _ in test_probe):
+        failures.append("mutex/sleep rules leaked outside src/")
     for f in failures:
         print(f"self-test FAIL: {f}")
     if not failures:

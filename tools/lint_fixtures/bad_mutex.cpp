@@ -1,0 +1,24 @@
+// Lint fixture: raw std:: locking primitives outside src/common/parallel.*
+// must trigger the `mutex` rule (and only it) — production code uses the
+// capability-annotated hisim::Mutex/MutexLock/CondVar wrappers so Clang's
+// thread-safety analysis can see the locking.
+#include <condition_variable>
+#include <mutex>
+
+namespace fixture {
+
+std::mutex g_mu;
+std::condition_variable g_cv;
+bool g_ready = false;
+
+void wait_ready() {
+  std::unique_lock<std::mutex> lk(g_mu);
+  while (!g_ready) g_cv.wait(lk);
+}
+
+void set_ready() {
+  std::lock_guard<std::mutex> lk(g_mu);
+  g_ready = true;
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Lint fixture: std::this_thread::sleep_for / sleep_until in src/ must
+// trigger the `sleep` rule (and only it) — production code synchronizes
+// with a CondVar wait or a latch, never by sleeping.
+#include <chrono>
+#include <thread>
+
+namespace fixture {
+
+void nap() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+}
+
+void nap_until() {
+  std::this_thread::sleep_until(std::chrono::steady_clock::now() +
+                                std::chrono::milliseconds(10));
+}
+
+}  // namespace fixture

@@ -1,0 +1,4 @@
+// Fixture: circuit -> common is a declared downward edge.
+#pragma once
+#include "common/types.hpp"
+struct Gate { Index mask; };

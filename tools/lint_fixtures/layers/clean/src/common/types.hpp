@@ -1,0 +1,3 @@
+// Fixture: bottom-layer header, includes nothing.
+#pragma once
+using Index = unsigned long long;

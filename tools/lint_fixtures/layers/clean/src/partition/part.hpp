@@ -1,0 +1,5 @@
+// Fixture: partition -> circuit/common are declared downward edges.
+#pragma once
+#include "circuit/gate.hpp"
+#include "common/types.hpp"
+struct Part { Gate g; };

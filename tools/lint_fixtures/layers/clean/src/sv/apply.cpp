@@ -1,0 +1,3 @@
+// Fixture: sv -> partition is the declared same-tier edge.
+#include "partition/part.hpp"
+int apply(const Part& p) { return static_cast<int>(p.g.mask); }

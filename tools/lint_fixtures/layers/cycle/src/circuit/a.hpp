@@ -1,0 +1,3 @@
+// Fixture violation: a.hpp -> b.hpp -> a.hpp is an include cycle.
+#pragma once
+#include "circuit/b.hpp"

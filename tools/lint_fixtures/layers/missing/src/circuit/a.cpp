@@ -1,0 +1,3 @@
+// Fixture violation: the included header does not exist under src/.
+#include "circuit/gone.hpp"
+int main() { return 0; }

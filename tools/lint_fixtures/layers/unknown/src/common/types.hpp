@@ -1,0 +1,2 @@
+#pragma once
+using Index = unsigned long long;

@@ -1,0 +1,3 @@
+// Fixture violation: 'widgets' is not a declared module.
+#pragma once
+#include "common/types.hpp"

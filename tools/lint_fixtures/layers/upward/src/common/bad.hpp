@@ -1,0 +1,4 @@
+// Fixture violation: common (layer 0) must not include sv (layer 2).
+#pragma once
+#include "sv/vec.hpp"
+inline double re(const Vec& v) { return v.re; }

@@ -1,0 +1,2 @@
+#pragma once
+struct Vec { double re, im; };
