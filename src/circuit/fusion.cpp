@@ -5,6 +5,7 @@
 
 #include "common/bits.hpp"
 #include "common/check.hpp"
+#include "common/trace.hpp"
 
 namespace hisim {
 
@@ -74,6 +75,9 @@ void flush_run(Circuit& out, const Circuit& in,
   for (std::size_t gi : run)
     total = embed_unitary(in.gate(gi), support) * total;
   out.add(Gate::unitary(support, std::move(total)));
+  static trace::Counter& fused =
+      trace::MetricsRegistry::global().counter("kernel.fused_blocks");
+  fused.add();
 }
 
 /// Flushes every open run in first-gate order (the deterministic

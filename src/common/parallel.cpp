@@ -3,6 +3,8 @@
 #include <atomic>
 #include <memory>
 
+#include "common/trace.hpp"
+
 namespace hisim::parallel {
 namespace {
 
@@ -60,6 +62,11 @@ class Pool {
     MutexLock run_lk(run_mu_);  // one region at a time
     const Index n = end - begin;
     const Index chunks = (n + grain - 1) / grain;
+    static trace::Counter& tasks =
+        trace::MetricsRegistry::global().counter("pool.tasks");
+    tasks.add(static_cast<std::uint64_t>(chunks));
+    trace::TraceSpan span("pool.region", "parallel");
+    span.arg("chunks", static_cast<std::int64_t>(chunks));
     {
       MutexLock lk(mu_);
       begin_ = begin;

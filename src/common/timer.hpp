@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "common/check.hpp"
+
 namespace hisim {
 
 /// Monotonic wall-clock timer used by the benchmark harness and the
@@ -26,11 +28,19 @@ class Timer {
 };
 
 /// Accumulates time across disjoint intervals (e.g. total gather time over
-/// all parts of a run).
+/// all parts of a run). start()/stop() must alternate — an unbalanced call
+/// would silently misattribute time (double start loses the first interval,
+/// stop without start used to add a stale one), so checked builds abort on
+/// either misuse.
 class Stopwatch {
  public:
-  void start() { timer_.reset(); running_ = true; }
+  void start() {
+    HISIM_DCHECK_MSG(!running_, "Stopwatch::start() while already running");
+    timer_.reset();
+    running_ = true;
+  }
   void stop() {
+    HISIM_DCHECK_MSG(running_, "Stopwatch::stop() without a matching start()");
     if (running_) total_ += timer_.seconds();
     running_ = false;
   }

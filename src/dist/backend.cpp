@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 
 namespace hisim::dist {
 namespace {
@@ -78,6 +79,8 @@ class ThreadedHandle final : public ExchangeHandle {
   ~ThreadedHandle() override { group_.join(); }
 
   void wait_shard(unsigned rank) override {
+    trace::TraceSpan span("exchange.wait", "exchange");
+    span.arg("rank", rank);
     MutexLock lk(mu_);
     while (done_[rank] == 0) cv_.wait(lk);
   }
@@ -98,6 +101,8 @@ class ThreadedHandle final : public ExchangeHandle {
       const unsigned r_begin = h * plan_.vranks_per_host;
       const unsigned r_end = std::min(v, r_begin + plan_.vranks_per_host);
       for (unsigned r2 = r_begin; r2 < r_end; ++r2) {
+        trace::TraceSpan span("exchange.shard", "exchange");
+        span.arg("rank", r2);
         fill_shard(plan_, r2, /*use_pool=*/false);
         {
           MutexLock lk(mu_);

@@ -6,6 +6,7 @@
 #include "common/check.hpp"
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 #include "dag/circuit_dag.hpp"
 #include "sv/hierarchical.hpp"
 #include "sv/kernels.hpp"
@@ -59,15 +60,24 @@ DistPlan compile_plan(const Circuit& c, const DistOptions& opt,
   // partitioner below.
   unsigned max_arity = 0;
   for (const Gate& g : c.gates()) max_arity = std::max(max_arity, g.arity());
-  plan.circuit = max_arity > po.limit ? lower(c, std::max(po.limit, 2u)) : c;
+  if (max_arity > po.limit) {
+    trace::TraceSpan span("lower", "dist");
+    plan.circuit = lower(c, std::max(po.limit, 2u));
+  } else {
+    plan.circuit = c;
+  }
 
-  const dag::CircuitDag dag(plan.circuit);
+  const dag::CircuitDag dag = [&] {
+    trace::TraceSpan span("dag.build", "dist");
+    return dag::CircuitDag(plan.circuit);
+  }();
   const partition::Partitioning parts = partition::make_partition(dag, po);
   plan.partition_seconds = parts.partition_seconds;
 
   // Walk the layout chain once: each part's target layout depends only on
   // the previous part's, so the whole exchange schedule — and the gate
   // remapping it implies — is known before any amplitude exists.
+  trace::TraceSpan schedule_span("schedule.build", "dist");
   const RankLayout* prev = &plan.initial_layout;
   for (const partition::Part& part : parts.parts) {
     DistPlan::Step step;
@@ -126,7 +136,24 @@ DistRunReport execute_plan(const DistPlan& plan, DistState& state,
   rep.ranks = 1u << p;
   rep.partition_seconds = plan.partition_seconds;
 
+  // One accounting source for the run: every per-step measurement is
+  // recorded into this run-local registry (local so concurrent executes
+  // on separate states cannot cross-pollute) and the report's scalar
+  // fields are queried back from it at the end. Recording happens
+  // serially on this thread in step order, so each distribution's sum
+  // accumulates in exactly the fp order the old `+=` fields used — the
+  // scalar outputs are bit-identical to the pre-registry plumbing.
+  trace::MetricsRegistry reg;
+  trace::Distribution& d_modeled = reg.distribution("exchange.modeled_seconds");
+  trace::Distribution& d_apply = reg.distribution("apply.seconds");
+  trace::Distribution& d_wall = reg.distribution("step.wall_seconds");
+  trace::Distribution& d_comm = reg.distribution("exchange.measured_seconds");
+  trace::Distribution& d_overlap = reg.distribution("exchange.overlap_seconds");
+
+  std::int64_t step_index = 0;
   for (const DistPlan::Step& step : plan.steps) {
+    trace::TraceSpan step_span("step", "dist");
+    step_span.arg("index", step_index++);
     // (1) Relayout: one collective exchange at most, none if the part's
     // qubits are already local. The exchange is started asynchronously;
     // each rank below waits only for its own shard before applying.
@@ -148,20 +175,23 @@ DistRunReport execute_plan(const DistPlan& plan, DistState& state,
     // step.inner's gate indices stay valid.
     Circuit bound_storage;
     const Circuit* local_circuit = &step.local;
-    if (step.parametric) {
-      bound_storage = step.local.bound(param_values);
-      local_circuit = &bound_storage;
-    }
-    if (!noise_ops.empty() && !step.noise_slots.empty()) {
-      if (local_circuit != &bound_storage) bound_storage = step.local;
-      for (const auto& [gi, slot] : step.noise_slots) {
-        HISIM_CHECK_MSG(slot < noise_ops.size(),
-                        "noise slot " << slot << " has no sampled operator");
-        Gate op = noise_ops[slot];
-        op.qubits = bound_storage.gate(gi).qubits;
-        bound_storage.set_gate(gi, std::move(op));
+    if (step.parametric || (!noise_ops.empty() && !step.noise_slots.empty())) {
+      trace::TraceSpan bind_span("bind", "dist");
+      if (step.parametric) {
+        bound_storage = step.local.bound(param_values);
+        local_circuit = &bound_storage;
       }
-      local_circuit = &bound_storage;
+      if (!noise_ops.empty() && !step.noise_slots.empty()) {
+        if (local_circuit != &bound_storage) bound_storage = step.local;
+        for (const auto& [gi, slot] : step.noise_slots) {
+          HISIM_CHECK_MSG(slot < noise_ops.size(),
+                          "noise slot " << slot << " has no sampled operator");
+          Gate op = noise_ops[slot];
+          op.qubits = bound_storage.gate(gi).qubits;
+          bound_storage.set_gate(gi, std::move(op));
+        }
+        local_circuit = &bound_storage;
+      }
     }
     const Circuit& local = *local_circuit;
 
@@ -180,6 +210,8 @@ DistRunReport execute_plan(const DistPlan& plan, DistState& state,
           for (Index r = lo; r < hi; ++r) {
             const unsigned rank = static_cast<unsigned>(r);
             if (handle) handle->wait_shard(rank);
+            trace::TraceSpan apply_span("apply", "dist");
+            apply_span.arg("rank", rank);
             const double t0 = wall.seconds();
             if (step.inner.num_parts() == 0) {
               for (const Gate& g : local.gates())
@@ -200,19 +232,41 @@ DistRunReport execute_plan(const DistPlan& plan, DistState& state,
 
     const double part_comp = comp_begin < 0.0 ? 0.0 : comp_end - comp_begin;
     if (handle) {
+      trace::TraceSpan wait_span("exchange.wait_all", "dist");
       handle->wait_all();
-      rep.measured_comm_seconds += handle->seconds();
+    }
+    if (handle) {
+      d_comm.record(handle->seconds());
       // Overlap = intersection of the comm window [comm_begin, comm_end]
       // and the compute window [comp_begin, comp_end] on the part clock.
       const double comm_end = comm_begin + handle->finished_after();
       if (comp_begin >= 0.0)
-        rep.measured_overlap_seconds += std::max(
-            0.0, std::min(comm_end, comp_end) - std::max(comm_begin, comp_begin));
+        d_overlap.record(std::max(
+            0.0, std::min(comm_end, comp_end) - std::max(comm_begin, comp_begin)));
     }
-    rep.measured_wall_seconds += wall.seconds();
-    rep.compute_seconds += part_comp;
+    d_wall.record(wall.seconds());
+    d_apply.record(part_comp);
+    d_modeled.record(part_comm);
     rep.part_times.emplace_back(part_comm, part_comp);
+    // Counter tracks in the trace viewer: cumulative modeled network
+    // bytes and messages after each step.
+    trace::counter_sample("exchange.bytes",
+                          static_cast<double>(rep.comm.bytes_total));
+    trace::counter_sample("exchange.messages",
+                          static_cast<double>(rep.comm.messages_total));
   }
+
+  // The report's scalar fields are the registry's sums — same values,
+  // same fp accumulation order, one accounting source.
+  rep.compute_seconds = d_apply.snapshot().sum;
+  rep.measured_comm_seconds = d_comm.snapshot().sum;
+  rep.measured_wall_seconds = d_wall.snapshot().sum;
+  rep.measured_overlap_seconds = d_overlap.snapshot().sum;
+  reg.counter("exchange.count").add(rep.comm.exchanges);
+  reg.counter("exchange.bytes").add(static_cast<std::uint64_t>(
+      rep.comm.bytes_total));
+  reg.counter("exchange.messages").add(rep.comm.messages_total);
+  rep.metrics = reg.flat();
   return rep;
 }
 

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <map>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -55,6 +57,14 @@ struct DistRunReport {
   /// synchronous backend, and never exceeds either measured_comm_seconds
   /// or compute_seconds — hence never their sum.
   double measured_overlap_seconds = 0.0;
+
+  /// Flat per-phase metrics (trace::MetricsRegistry::flat() of the run's
+  /// registry): per-step distributions of the scalar fields above plus
+  /// exchange counters ("exchange.count", "exchange.bytes",
+  /// "exchange.messages"). The scalar fields themselves are *queried from*
+  /// the same registry — one accounting source — and keep their exact
+  /// to_json names and semantics.
+  std::map<std::string, double> metrics;
 
   /// Conservative serial estimate: every rank waits for the slowest
   /// exchange before computing.

@@ -5,6 +5,7 @@
 #include "common/bits.hpp"
 #include "common/check.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 #include "sv/kernels.hpp"
 
 namespace hisim::dist {
@@ -74,7 +75,10 @@ IqsRunReport IqsBaselineSimulator::run(const Circuit& c, DistState& state,
   rep.ranks = v;
   Stopwatch compute;
 
+  std::int64_t gate_index = 0;
   for (const Gate& g : c.gates()) {
+    trace::TraceSpan gate_span("gate", "iqs");
+    gate_span.arg("index", gate_index++);
     const bool any_global =
         std::any_of(g.qubits.begin(), g.qubits.end(),
                     [l](Qubit q) { return q >= l; });

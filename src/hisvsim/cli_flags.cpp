@@ -215,6 +215,11 @@ Flags parse_flags(const std::vector<std::string>& args) {
       f.dot = v;
       continue;
     }
+    if (const char* v = val("--trace=")) {
+      HISIM_CHECK_MSG(*v != '\0', "--trace needs an output path");
+      f.trace = v;
+      continue;
+    }
     if (const char* v = val("--strategy=")) {
       f.strategy = parse_strategy(v);
       continue;
@@ -371,6 +376,7 @@ Options engine_options(const Flags& f) {
   o.kernel_tier = f.kernel;
   o.process_qubits = f.ranks_p;
   o.noise = noise_model(f);
+  o.trace = !f.trace.empty();
   return o;
 }
 

@@ -41,6 +41,11 @@ struct Flags {
   bool json = false;
   bool exact = false;
   std::string dot;
+  /// Chrome-trace output path (--trace=out.json): enables the trace
+  /// session for the run and writes the collected spans + metrics there
+  /// (loadable in Perfetto / chrome://tracing; see common/trace.hpp).
+  /// Empty = tracing off. The CLI validates writability before running.
+  std::string trace;
   partition::Strategy strategy = partition::Strategy::DagP;
   dist::BackendKind backend = dist::BackendKind::Serial;
   bool has_backend = false;  // --backend= given explicitly

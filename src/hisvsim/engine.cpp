@@ -10,6 +10,7 @@
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 #include "dag/circuit_dag.hpp"
 #include "dist/backend.hpp"
 #include "dist/iqs_baseline.hpp"
@@ -219,6 +220,13 @@ std::string Result::to_json() const {
     json_num(os, first, "flops", flops);
   }
   json_num(os, first, "total_seconds", total_seconds());
+  if (!metrics.empty()) {
+    // The flat per-phase metrics map (trace::MetricsRegistry naming);
+    // present on every target so benches and the CLI get the breakdown
+    // without enabling tracing.
+    append_kv(os, first, "metrics");
+    os << trace::metrics_to_json(metrics);
+  }
   json_params(os, first, params);
   json_int(os, first, "shots", samples.size());
   if (!observables.empty()) {
@@ -293,7 +301,12 @@ ExecutionPlan Engine::compile(const Circuit& c, const Options& opt) {
 }
 
 ExecutionPlan Engine::compile(const Circuit& c) const {
+  // Options::trace starts (or restarts) the collection window here so
+  // one session covers this compile and every execute that follows.
+  if (opt_.trace && !trace::TraceSession::active())
+    trace::TraceSession::start();
   Timer compile_timer;
+  trace::TraceSpan compile_span("compile", "engine");
   auto impl = std::make_shared<PlanImpl>();
   impl->opt = opt_;
   // Resolve the kernel tier up front: a forced-but-unavailable tier must
@@ -306,20 +319,28 @@ ExecutionPlan Engine::compile(const Circuit& c) const {
   // sampled operators into the slots without touching that structure.
   Circuit instrumented;
   const Circuit* source = &c;
+  double instrument_seconds = 0.0;
   if (!opt_.noise.empty()) {
+    Timer t;
+    trace::TraceSpan span("instrument", "engine");
     noise::Instrumented in = noise::instrument(c, opt_.noise);
     instrumented = std::move(in.circuit);
     impl->noise = std::move(in.noise);
     source = &instrumented;
+    instrument_seconds = t.seconds();
   }
   // Optimization runs after instrumentation and before partitioning, so a
   // removed gate is removed from every downstream artifact, and the slots
   // (barriers to every pass) keep noisy structure intact. A circuit the
   // pipeline leaves untouched compiles to a bit-identical plan.
   Circuit optimized;
+  double optimize_seconds = 0.0;
   if (opt_.opt_level != 0) {
+    Timer t;
+    trace::TraceSpan span("optimize", "engine");
     optimized = optimize(*source, opt_.opt_level, &impl->opt_report);
     source = &optimized;
+    optimize_seconds = t.seconds();
   } else {
     impl->opt_report.gates_before = impl->opt_report.gates_after =
         source->num_gates();
@@ -340,7 +361,10 @@ ExecutionPlan Engine::compile(const Circuit& c) const {
 
     case Target::Hierarchical: {
       impl->effective_limit = effective_limit(opt_, n);
-      const dag::CircuitDag dag(*source);
+      const dag::CircuitDag dag = [&] {
+        trace::TraceSpan span("dag.build", "engine");
+        return dag::CircuitDag(*source);
+      }();
       partition::PartitionOptions po;
       po.strategy = opt_.strategy;
       po.limit = impl->effective_limit;
@@ -357,7 +381,10 @@ ExecutionPlan Engine::compile(const Circuit& c) const {
           opt_.level2_limit == 0
               ? std::max(2u, impl->effective_limit / 2)
               : std::min(opt_.level2_limit, impl->effective_limit);
-      const dag::CircuitDag dag(*source);
+      const dag::CircuitDag dag = [&] {
+        trace::TraceSpan span("dag.build", "engine");
+        return dag::CircuitDag(*source);
+      }();
       partition::PartitionOptions po;
       po.strategy = opt_.strategy;
       po.limit = impl->effective_limit;
@@ -396,6 +423,16 @@ ExecutionPlan Engine::compile(const Circuit& c) const {
   }
 
   impl->compile_seconds = compile_timer.seconds();
+  // Compile-phase breakdown, merged into every execution's
+  // Result::metrics. Zero when the phase did not run — the keys stay
+  // stable across configurations so trace diffs line up.
+  impl->compile_metrics["compile.total_seconds"] = impl->compile_seconds;
+  impl->compile_metrics["compile.partition_seconds"] =
+      impl->partition_seconds;
+  impl->compile_metrics["compile.instrument_seconds"] = instrument_seconds;
+  impl->compile_metrics["compile.optimize_seconds"] = optimize_seconds;
+  impl->compile_metrics["compile.gates_removed"] = static_cast<double>(
+      impl->opt_report.gates_before - impl->opt_report.gates_after);
   if constexpr (checked_build) {
     // Every gate kind is unitary by construction except raw Unitary-kind
     // matrices: Gate::kraus deliberately skips the unitarity check, and
@@ -413,7 +450,10 @@ ExecutionPlan Engine::compile(const Circuit& c) const {
   // Checked builds deep-validate every freshly compiled plan right at the
   // compile/execute seam (see ExecutionPlan::validate), so a partitioner
   // or scheduler bug aborts here, not as a wrong amplitude much later.
-  if constexpr (checked_build) plan.validate();
+  if constexpr (checked_build) {
+    trace::TraceSpan span("validate", "engine");
+    plan.validate();
+  }
   return plan;
 }
 
@@ -446,6 +486,7 @@ Result ExecutionPlan::execute_impl(const ExecOptions& opts,
   const PlanImpl& plan = *impl_;
   const Options& opt = plan.opt;
   const unsigned n = plan.executed_circuit().num_qubits();
+  trace::TraceSpan exec_span("execute", "engine");
 
   // Resolve the binding context up front: a parameterized plan needs every
   // parameter covered, a concrete plan rejects stray bindings — both with
@@ -470,14 +511,17 @@ Result ExecutionPlan::execute_impl(const ExecOptions& opts,
       whole_target && !noise_ops.empty() && !plan.noise.slots.empty();
   Circuit storage;
   const Circuit* executed = &plan.executed_circuit();
-  if (bind_whole) {
-    storage = executed->bound(param_values);
-    executed = &storage;
-  }
-  if (noise_whole) {
-    if (!bind_whole) storage = *executed;
-    noise::apply_ops(storage, noise_ops);
-    executed = &storage;
+  if (bind_whole || noise_whole) {
+    trace::TraceSpan bind_span("bind", "engine");
+    if (bind_whole) {
+      storage = executed->bound(param_values);
+      executed = &storage;
+    }
+    if (noise_whole) {
+      if (!bind_whole) storage = *executed;
+      noise::apply_ops(storage, noise_ops);
+      executed = &storage;
+    }
   }
   const Circuit& c = *executed;
 
@@ -497,6 +541,7 @@ Result ExecutionPlan::execute_impl(const ExecOptions& opts,
   r.ranks = plan.ranks;
   r.compile_seconds = plan.compile_seconds;
   r.partition_seconds = plan.partition_seconds;
+  r.metrics = plan.compile_metrics;
 
   sv::StateVector state;
   Timer wall;
@@ -513,6 +558,7 @@ Result ExecutionPlan::execute_impl(const ExecOptions& opts,
     switch (opt.target) {
       case Target::Flat: {
         Timer t;
+        trace::TraceSpan span("apply", "sv");
         sv::FlatSimulator().run(c, state, plan.kernels);
         r.apply_seconds = t.seconds();
         break;
@@ -531,10 +577,18 @@ Result ExecutionPlan::execute_impl(const ExecOptions& opts,
         r.outer_bytes_moved = stats.outer_bytes_moved;
         r.inner_bytes_touched = stats.inner_bytes_touched;
         r.flops = stats.flops;
+        r.metrics["gather.seconds"] = stats.gather_seconds;
+        r.metrics["scatter.seconds"] = stats.scatter_seconds;
+        r.metrics["sv.outer_bytes_moved"] =
+            static_cast<double>(stats.outer_bytes_moved);
+        r.metrics["sv.inner_bytes_touched"] =
+            static_cast<double>(stats.inner_bytes_touched);
+        r.metrics["sv.flops"] = stats.flops;
         break;
       }
       default: break;  // unreachable
     }
+    r.metrics["apply.seconds"] = r.apply_seconds;
     r.execute_seconds = wall.seconds();
   } else {
     dist::DistState st(n, opt.process_qubits);
@@ -545,6 +599,11 @@ Result ExecutionPlan::execute_impl(const ExecOptions& opts,
                                            plan.kernels);
       r.compute_seconds = ir.compute_seconds;
       r.comm = ir.comm;
+      r.metrics["compute.seconds"] = ir.compute_seconds;
+      r.metrics["exchange.count"] = static_cast<double>(ir.comm.exchanges);
+      r.metrics["exchange.bytes"] = static_cast<double>(ir.comm.bytes_total);
+      r.metrics["exchange.messages"] =
+          static_cast<double>(ir.comm.messages_total);
     } else {
       const dist::DistRunReport dr =
           dist::execute_plan(plan.dplan, st, opts.net,
@@ -556,13 +615,20 @@ Result ExecutionPlan::execute_impl(const ExecOptions& opts,
       r.measured_comm_seconds = dr.measured_comm_seconds;
       r.measured_wall_seconds = dr.measured_wall_seconds;
       r.measured_overlap_seconds = dr.measured_overlap_seconds;
+      // The distributed executor's run registry, flattened: per-step
+      // distributions of the modeled/measured phase times plus the
+      // exchange counters.
+      r.metrics.insert(dr.metrics.begin(), dr.metrics.end());
     }
     r.execute_seconds = wall.seconds();
     // Gathering the sharded state is O(2^n); report-only executions
     // (want_state off, no shots/observables) get the norm from the
     // shards instead and skip it.
     if (opts.want_state || opts.shots > 0 || !opts.observables.empty()) {
+      Timer gather_timer;
+      trace::TraceSpan gather_span("gather", "engine");
       state = st.to_state_vector();
+      r.metrics["gather.seconds"] = gather_timer.seconds();
     } else {
       double norm = 0.0;
       for (unsigned rk = 0; rk < st.num_ranks(); ++rk)
@@ -572,10 +638,12 @@ Result ExecutionPlan::execute_impl(const ExecOptions& opts,
         sv::validate_norm_preserved(
             opts.initial_state ? opts.initial_state->norm() : 1.0, r.norm,
             "sharded execute (report-only)");
+      r.metrics["execute.wall_seconds"] = r.execute_seconds;
       return r;
     }
   }
 
+  r.metrics["execute.wall_seconds"] = r.execute_seconds;
   r.norm = state.norm();
   // Checked builds: a unitary segment (no sampled trajectory operators, no
   // non-unitary matrices) must preserve the initial norm — a violation
@@ -627,6 +695,10 @@ std::vector<Result> ExecutionPlan::execute_sweep(
   // whole sweep.
   std::vector<Result> results(points.size());
   run_indexed_on_pool(points.size(), [&](std::size_t i) {
+    // One span per point, on whichever worker thread ran it — the sweep
+    // fan-out shows up in the trace as parallel tracks.
+    trace::TraceSpan span("sweep.point", "engine");
+    span.arg("index", static_cast<std::int64_t>(i));
     ExecOptions point_opts = opts;
     point_opts.bindings = points[i];
     results[i] = execute(point_opts);
@@ -702,6 +774,8 @@ NoisyResult ExecutionPlan::execute_trajectories(
   // deterministic regardless of worker scheduling.
   Timer wall;
   run_indexed_on_pool(num, [&](std::size_t t) {
+    trace::TraceSpan span("trajectory", "engine");
+    span.arg("index", static_cast<std::int64_t>(t));
     const std::uint64_t seed = noise::trajectory_seed(opts.seed, t);
     ExecOptions x = opts.exec;
     x.want_state = false;

@@ -108,6 +108,13 @@ struct Options {
   /// circuit (slots are exact no-ops); stochastic trajectories sample
   /// concrete operators into the slots via execute_trajectories().
   noise::NoiseModel noise;
+  /// Starts a trace session (common/trace.hpp) when compile() begins, so
+  /// compile and every subsequent execute record spans. Off by default:
+  /// disabled tracing costs one relaxed atomic load per instrumentation
+  /// site. The CLI --trace flag and the HISIM_TRACE environment variable
+  /// are the other two ways to enable collection; retrieve the trace with
+  /// trace::TraceSession::chrome_json() / write().
+  bool trace = false;
 };
 
 /// Per-execution configuration: everything the plan does *not* depend on.
@@ -191,6 +198,15 @@ struct Result {
   /// ExecOptions::bindings), so sweep outputs are self-describing; empty
   /// for concrete plans. Serialized by to_json() as "params".
   ParamBinding params;
+
+  /// Flat per-phase metrics (trace::MetricsRegistry naming, `module.noun`
+  /// keys): the plan's compile-phase breakdown ("compile.*") merged with
+  /// this execution's phase numbers — per-step exchange/apply
+  /// distributions on the distributed targets, gather/apply/scatter
+  /// seconds on the hierarchical ones. Serialized by to_json() as
+  /// "metrics" on every target; keys vary by target, values are counts,
+  /// seconds, or bytes per the key's suffix.
+  std::map<std::string, double> metrics;
 
   /// Modeled serial total: compute + slowest-host comm for distributed
   /// targets, the gather/apply/scatter sum otherwise.

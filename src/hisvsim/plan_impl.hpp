@@ -1,5 +1,7 @@
 #pragma once
 
+#include <map>
+#include <string>
 #include <vector>
 
 #include "circuit/circuit.hpp"
@@ -58,6 +60,10 @@ struct PlanImpl {
   std::size_t parts = 0;
   std::size_t inner_parts = 0;
   unsigned ranks = 0;  // 0 for single-node targets
+  /// Compile-phase breakdown ("compile.*" keys, trace::MetricsRegistry
+  /// flat() naming) — written once by compile like every other field, and
+  /// merged into each execution's Result::metrics.
+  std::map<std::string, double> compile_metrics;
 
   partition::Partitioning single;       // Target::Hierarchical
   partition::TwoLevelPartitioning two;  // Target::Multilevel

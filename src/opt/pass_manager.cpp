@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/trace.hpp"
 
 namespace hisim {
 namespace passes {
@@ -291,7 +292,12 @@ Circuit PassManager::run(const Circuit& c, OptReport* report) const {
   for (unsigned round = 0; round < kMaxRounds; ++round) {
     bool changed = false;
     for (std::size_t i = 0; i < pipeline_.size(); ++i) {
+      // Pass names are std::strings owned by the pipeline; intern so the
+      // span name outlives the PassManager.
+      trace::TraceSpan span(trace::intern(pipeline_[i].name), "opt");
       Circuit next = pipeline_[i].run(cur);
+      span.arg("removed",
+               static_cast<std::int64_t>(cur.num_gates() - next.num_gates()));
       HISIM_CHECK_MSG(next.num_gates() <= cur.num_gates(),
                       "pass '" << pipeline_[i].name << "' added gates");
       rep.deltas[i].removed += cur.num_gates() - next.num_gates();

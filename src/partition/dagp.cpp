@@ -3,6 +3,7 @@
 #include <set>
 
 #include "common/check.hpp"
+#include "common/trace.hpp"
 #include "partition/contract.hpp"
 #include "partition/partition.hpp"
 
@@ -275,7 +276,12 @@ Bisection bisect(const WorkGraph& g, const std::vector<int>& nodes,
     return true;
   };
 
+  // One process-wide counter: bisections run concurrently from sweep and
+  // trajectory compiles, and the reference is stable for the process.
+  static trace::Counter& refine_counter =
+      trace::MetricsRegistry::global().counter("partition.refine_passes");
   for (unsigned pass = 0; pass < opt.refine_passes; ++pass) {
+    refine_counter.add();
     bool improved = false;
     for (int v : nodes) {
       if (movable_to_right(v)) {

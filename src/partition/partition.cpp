@@ -7,6 +7,7 @@
 
 #include "common/check.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 
 namespace hisim::partition {
 
@@ -54,6 +55,8 @@ Partitioning make_partition(const dag::CircuitDag& dag,
                     "gate " << g.to_string() << " has arity " << g.arity()
                             << " > limit " << opt.limit);
   Timer t;
+  trace::TraceSpan span("partition", "partition");
+  span.arg("gates", static_cast<std::int64_t>(dag.num_gates()));
   Partitioning p;
   switch (opt.strategy) {
     case Strategy::Nat:

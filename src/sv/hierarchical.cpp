@@ -5,6 +5,7 @@
 #include "common/bits.hpp"
 #include "common/check.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 #include "sv/kernels.hpp"
 
 namespace hisim::sv {
@@ -30,6 +31,10 @@ void run_part(const Circuit& c, std::span<const std::size_t> gates,
               std::span<const Qubit> part_qubits, StateVector& outer,
               HierarchicalStats& stats, const KernelOps* ops) {
   const KernelOps& kops = ops != nullptr ? *ops : kernel_ops();
+  // Per-part granularity; the gather/exec/scatter iterations inside are
+  // far too hot for spans — the Stopwatch totals below cover those.
+  trace::TraceSpan span("part", "sv");
+  span.arg("gates", static_cast<std::int64_t>(gates.size()));
   const unsigned n = outer.num_qubits();
   const unsigned w = static_cast<unsigned>(part_qubits.size());
   HISIM_CHECK(w <= n);
@@ -98,6 +103,8 @@ HierarchicalStats HierarchicalSimulator::run(
   HierarchicalStats stats;
 
   for (std::size_t pi = 0; pi < parts.level1.num_parts(); ++pi) {
+    trace::TraceSpan part_span("part", "sv");
+    part_span.arg("index", static_cast<std::int64_t>(pi));
     const partition::Part& p1 = parts.level1.parts[pi];
     const unsigned w1 = p1.working_set();
 

@@ -1,0 +1,84 @@
+#include "common/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace hisim {
+namespace {
+
+TEST(Timer, ElapsedIsMonotonicAndNonNegative) {
+  Timer t;
+  const double a = t.seconds();
+  EXPECT_GE(a, 0.0);
+  // Burn a little time so the second reading has something to observe.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + static_cast<double>(i);
+  const double b = t.seconds();
+  EXPECT_GE(b, a);
+}
+
+TEST(Timer, ResetRestartsTheClock) {
+  Timer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + static_cast<double>(i);
+  const double before = t.seconds();
+  t.reset();
+  // Elapsed since reset can't exceed elapsed since construction; with the
+  // busy loop in between it is strictly less in practice, but the only
+  // guaranteed relation is <=.
+  EXPECT_LE(t.seconds(), before + 1.0);
+  EXPECT_GE(t.seconds(), 0.0);
+}
+
+TEST(Timer, UnitConversionsAgree) {
+  Timer t;
+  const double s = t.seconds();
+  // Separate clock reads, so allow generous slack between the units.
+  EXPECT_NEAR(t.millis() / 1e3, s, 0.5);
+  EXPECT_NEAR(t.micros() / 1e6, s, 0.5);
+}
+
+TEST(Stopwatch, AccumulatesDisjointIntervals) {
+  Stopwatch w;
+  EXPECT_EQ(w.seconds(), 0.0);
+  w.start();
+  w.stop();
+  const double one = w.seconds();
+  EXPECT_GE(one, 0.0);
+  w.start();
+  w.stop();
+  EXPECT_GE(w.seconds(), one);  // totals only ever grow
+}
+
+TEST(Stopwatch, ClearResetsTheTotal) {
+  Stopwatch w;
+  w.start();
+  w.stop();
+  w.clear();
+  EXPECT_EQ(w.seconds(), 0.0);
+  // clear() also drops a running interval, so a fresh start() is legal.
+  w.start();
+  w.clear();
+  w.start();
+  w.stop();
+  EXPECT_GE(w.seconds(), 0.0);
+}
+
+#if HISIM_CHECKED && GTEST_HAS_DEATH_TEST
+// The misuse contract (see timer.hpp): unbalanced start/stop aborts in
+// checked builds instead of silently misattributing time.
+TEST(StopwatchDeathTest, DoubleStartAborts) {
+  Stopwatch w;
+  w.start();
+  EXPECT_DEATH(w.start(), "already running");
+}
+
+TEST(StopwatchDeathTest, StopWithoutStartAborts) {
+  Stopwatch w;
+  EXPECT_DEATH(w.stop(), "without a matching start");
+}
+#endif
+
+}  // namespace
+}  // namespace hisim

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""CI perf gate on the tracing layer's runtime overhead.
+
+Runs the same `hisim run` workload repeatedly with tracing off and with
+--trace enabled, compares the median in-process run time (the report's
+"total_seconds", which excludes the trace-file write), and fails when
+the traced median exceeds the untraced one by more than the allowed
+factor. The ceiling (default 2.0x) is deliberately loose for noisy
+shared CI hosts: the gate exists to catch tracing becoming accidentally
+hot on the per-gate/per-step path -- a lock in TraceSpan, an allocation
+per event -- not to certify an exact overhead number. The
+disabled-mode cost (one relaxed atomic load) is below what wall-clock
+timing can resolve, so only the enabled path is gated.
+
+Usage:
+    check_trace_overhead.py /path/to/hisim [--runs 5] [--max-ratio 2.0]
+        [--circuit qft] [--qubits 16]
+"""
+
+import argparse
+import json
+import os
+import statistics
+import subprocess
+import sys
+import tempfile
+
+
+def run_once(hisim, circuit, qubits, trace_path):
+    cmd = [hisim, "run", circuit, f"--qubits={qubits}", "--json"]
+    if trace_path:
+        cmd.append(f"--trace={trace_path}")
+    out = subprocess.run(cmd, check=True, capture_output=True, text=True)
+    report = json.loads(out.stdout)
+    return float(report["total_seconds"])
+
+
+def main(argv):
+    ap = argparse.ArgumentParser()
+    ap.add_argument("hisim", help="path to the hisim CLI binary")
+    ap.add_argument("--runs", type=int, default=5)
+    ap.add_argument("--max-ratio", type=float, default=2.0,
+                    help="traced/untraced median ceiling (default 2.0)")
+    ap.add_argument("--circuit", default="qft")
+    ap.add_argument("--qubits", type=int, default=16)
+    args = ap.parse_args(argv[1:])
+
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = os.path.join(tmp, "overhead_probe.json")
+        # Alternate modes so slow drift (thermal, noisy neighbors) hits
+        # both populations equally instead of biasing one.
+        plain, traced = [], []
+        for _ in range(args.runs):
+            plain.append(run_once(args.hisim, args.circuit, args.qubits,
+                                  None))
+            traced.append(run_once(args.hisim, args.circuit, args.qubits,
+                                   trace_path))
+
+    base = statistics.median(plain)
+    with_trace = statistics.median(traced)
+    if base <= 0.0:
+        print("check_trace_overhead: workload too fast to time; "
+              "raise --qubits")
+        return 1
+    ratio = with_trace / base
+    verdict = "OK" if ratio <= args.max_ratio else "FAIL"
+    print(f"check_trace_overhead: {args.circuit}/{args.qubits}q "
+          f"median {base * 1e3:.2f} ms untraced, "
+          f"{with_trace * 1e3:.2f} ms traced -> {ratio:.3f}x "
+          f"(ceiling {args.max_ratio}x) {verdict}")
+    return 0 if ratio <= args.max_ratio else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

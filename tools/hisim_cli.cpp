@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "circuits/generators.hpp"
+#include "common/trace.hpp"
 #include "hisvsim/cli_flags.hpp"
 #include "hisvsim/engine.hpp"
 #include "partition/exact.hpp"
@@ -74,7 +75,28 @@ int cmd_suite() {
   return 0;
 }
 
+int run_traced(const std::string& spec, const cli::Flags& f);
+
 int cmd_run(const std::string& spec, const cli::Flags& f) {
+  if (f.trace.empty()) return run_traced(spec, f);
+  // Fail fast on an unwritable --trace path: rejecting it here beats
+  // losing the trace after a (possibly long) run. Append mode creates
+  // the file without clobbering it if the run then fails.
+  {
+    std::ofstream probe(f.trace, std::ios::binary | std::ios::app);
+    if (!probe)
+      throw Error("cannot open trace output '" + f.trace + "' for writing");
+  }
+  const int rc = run_traced(spec, f);
+  trace::TraceSession::stop();
+  trace::TraceSession::write(f.trace);
+  std::fprintf(stderr, "wrote trace: %s (%zu events, %zu dropped)\n",
+               f.trace.c_str(), trace::TraceSession::event_count(),
+               trace::TraceSession::dropped_count());
+  return rc;
+}
+
+int run_traced(const std::string& spec, const cli::Flags& f) {
   const Circuit c = load_circuit(spec, f.qubits);
   std::fprintf(stderr, "%s\n", c.summary().c_str());
 

@@ -31,6 +31,14 @@ Four rule families (see docs/ARCHITECTURE.md, "Correctness tooling"):
             wait or a latch. (Tests/benches are exempt; timing probes
             there are legitimate.)
 
+  chrono    Raw std::chrono (steady_clock and friends) is confined to
+            common/timer.hpp and the trace layer (common/trace.*) in src/.
+            Everywhere else times through hisim::Timer/Stopwatch or a
+            trace::TraceSpan so clock choice, unit conversions, and the
+            trace timeline stay in one place -- ad-hoc now() calls are how
+            mixed-clock timestamps and double-counted phases creep in.
+            (Tests/benches are exempt, same as sleep.)
+
   include   Hygiene: no relative-parent ("../") includes (all project
             includes are rooted at src/), and no `using namespace` at
             header scope.
@@ -67,6 +75,13 @@ SANCTIONED = {
         "src/common/parallel.hpp",
         "src/common/parallel.cpp",
     },
+    # The timing wrappers and the trace clock are the only direct
+    # std::chrono users; everything else goes through Timer/TraceSpan.
+    "chrono": {
+        "src/common/timer.hpp",
+        "src/common/trace.hpp",
+        "src/common/trace.cpp",
+    },
 }
 
 # Directories scanned, relative to the repo root.
@@ -95,6 +110,9 @@ MUTEX_PATTERN = re.compile(
     r"|std\s*::\s*condition_variable(?:_any)?\b"
     r"|std\s*::\s*(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b")
 SLEEP_PATTERN = re.compile(r"std\s*::\s*this_thread\s*::\s*sleep_(?:for|until)\b")
+CHRONO_PATTERN = re.compile(
+    r"std\s*::\s*chrono\b"
+    r"|\b(?:steady|system|high_resolution)_clock\b")
 PARENT_INCLUDE = re.compile(r'#\s*include\s*"\.\./')
 USING_NAMESPACE = re.compile(r"\busing\s+namespace\b")
 
@@ -176,6 +194,13 @@ def lint_file(rel, text, sanctioned=SANCTIONED):
                              "std::this_thread::sleep_* in production "
                              "code: synchronize with a CondVar wait or a "
                              "latch, never by sleeping"))
+        if in_src and rel not in sanctioned["chrono"] \
+                and CHRONO_PATTERN.search(line):
+            findings.append((rel, i, "chrono",
+                             "raw std::chrono outside common/timer.hpp "
+                             "and common/trace.*; time through "
+                             "hisim::Timer/Stopwatch or a "
+                             "trace::TraceSpan"))
     return findings
 
 
@@ -204,6 +229,7 @@ FIXTURE_EXPECT = {
     "bad_thread.cpp": {"thread"},
     "bad_mutex.cpp": {"mutex"},
     "bad_sleep.cpp": {"sleep"},
+    "bad_chrono.cpp": {"chrono"},
     "bad_include.hpp": {"include"},
     "good_clean.cpp": set(),
     "good_commented.cpp": set(),
@@ -237,13 +263,24 @@ def self_test(script_dir):
     if any(rule == "mutex" for _, _, rule, _ in wrapper_probe):
         failures.append("sanctioned file src/common/parallel.hpp was "
                         "flagged for mutex")
-    # The mutex/sleep rules police src/ only: tests may lock and sleep.
+    # The mutex/sleep/chrono rules police src/ only: tests may lock,
+    # sleep, and time things directly.
     test_probe = lint_file(
         "tests/test_x.cpp",
         "#include <mutex>\nstd::mutex mu;\n"
-        "void f() { std::this_thread::sleep_for(d); }\n")
-    if any(rule in ("mutex", "sleep") for _, _, rule, _ in test_probe):
-        failures.append("mutex/sleep rules leaked outside src/")
+        "void f() { std::this_thread::sleep_for(d); }\n"
+        "auto t = std::chrono::steady_clock::now();\n")
+    if any(rule in ("mutex", "sleep", "chrono")
+           for _, _, rule, _ in test_probe):
+        failures.append("mutex/sleep/chrono rules leaked outside src/")
+    # The clock wrappers themselves are sanctioned for chrono.
+    chrono_probe = lint_file(
+        "src/common/timer.hpp",
+        "#include <chrono>\n"
+        "auto t = std::chrono::steady_clock::now();\n")
+    if any(rule == "chrono" for _, _, rule, _ in chrono_probe):
+        failures.append("sanctioned file src/common/timer.hpp was flagged "
+                        "for chrono")
     for f in failures:
         print(f"self-test FAIL: {f}")
     if not failures:

@@ -1,0 +1,22 @@
+// Lint fixture: raw std::chrono timing in src/ (outside common/timer.hpp
+// and common/trace.*) must trigger the `chrono` rule (and only it) —
+// everything else times through hisim::Timer/Stopwatch or a
+// trace::TraceSpan so clock choice and unit conversions stay centralized.
+#include <chrono>
+#include <cstdint>
+
+namespace fixture {
+
+double elapsed_seconds() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+std::int64_t wall_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace fixture

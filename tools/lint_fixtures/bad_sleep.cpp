@@ -1,18 +1,20 @@
 // Lint fixture: std::this_thread::sleep_for / sleep_until in src/ must
 // trigger the `sleep` rule (and only it) — production code synchronizes
-// with a CondVar wait or a latch, never by sleeping.
-#include <chrono>
+// with a CondVar wait or a latch, never by sleeping. The duration/time
+// point come in as template parameters so the fixture stays clean of the
+// separate `chrono` rule.
 #include <thread>
 
 namespace fixture {
 
-void nap() {
-  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+template <class Duration>
+void nap(Duration d) {
+  std::this_thread::sleep_for(d);
 }
 
-void nap_until() {
-  std::this_thread::sleep_until(std::chrono::steady_clock::now() +
-                                std::chrono::milliseconds(10));
+template <class TimePoint>
+void nap_until(TimePoint t) {
+  std::this_thread::sleep_until(t);
 }
 
 }  // namespace fixture

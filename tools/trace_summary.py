@@ -1,0 +1,218 @@
+#!/usr/bin/env python3
+"""Summarize / validate a HiSVSIM Chrome-trace file (--trace=out.json).
+
+Default mode prints two tables from the trace:
+
+  * per-phase: for each span name, the event count, total/mean/max
+    duration, and the number of distinct threads the span ran on;
+  * per-category: the same totals rolled up by event category
+    (engine, opt, partition, dist, sv, exchange, parallel, iqs);
+
+plus the flat "metrics" block (counters and distribution summaries) if
+the file carries one. Durations are wall-clock sums over possibly
+concurrent spans, so category totals can exceed the run's wall time --
+they measure work, not elapsed time.
+
+--validate checks the event-format invariants the exporter promises
+(see src/common/trace.hpp): a top-level "traceEvents" list whose
+entries are ph:"X" duration events (name/cat/ts/dur/pid/tid, numeric
+times, dur >= 0) or ph:"C" counter samples (name/ts/pid/tid plus a
+numeric args.value), and a "metrics" object of numeric values when
+present. Exit 0 = valid, 1 = findings (one per line).
+
+Usage:
+  trace_summary.py out.json            summary tables
+  trace_summary.py --validate out.json format check only
+  trace_summary.py --self-test         validator self-check (no file)
+"""
+
+import json
+import sys
+from collections import defaultdict
+
+SPAN_KEYS = {"name", "cat", "ph", "ts", "dur", "pid", "tid"}
+COUNTER_KEYS = {"name", "ph", "ts", "pid", "tid", "args"}
+
+
+def _check_numeric(ev, key, where, findings):
+    v = ev.get(key)
+    if not isinstance(v, (int, float)) or isinstance(v, bool):
+        findings.append(f"{where}: '{key}' missing or non-numeric ({v!r})")
+        return None
+    return v
+
+
+def validate(doc):
+    """Returns a list of findings (empty = the document is valid)."""
+    findings = []
+    if not isinstance(doc, dict):
+        return ["top level is not a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ['top-level "traceEvents" missing or not a list']
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            findings.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph == "X":
+            for key in SPAN_KEYS - {"ts", "dur"}:
+                if key not in ev:
+                    findings.append(f"{where}: span event missing '{key}'")
+            _check_numeric(ev, "ts", where, findings)
+            dur = _check_numeric(ev, "dur", where, findings)
+            if dur is not None and dur < 0:
+                findings.append(f"{where}: negative dur {dur}")
+        elif ph == "C":
+            for key in COUNTER_KEYS - {"ts", "args"}:
+                if key not in ev:
+                    findings.append(f"{where}: counter event missing '{key}'")
+            _check_numeric(ev, "ts", where, findings)
+            args = ev.get("args")
+            if not isinstance(args, dict) or "value" not in args:
+                findings.append(f"{where}: counter event needs args.value")
+            elif not isinstance(args["value"], (int, float)) \
+                    or isinstance(args["value"], bool):
+                findings.append(f"{where}: args.value is non-numeric")
+        else:
+            findings.append(f"{where}: unknown ph {ph!r} (expected X or C)")
+    metrics = doc.get("metrics")
+    if metrics is not None:
+        if not isinstance(metrics, dict):
+            findings.append('"metrics" is not an object')
+        else:
+            for k, v in metrics.items():
+                if not isinstance(v, (int, float)) or isinstance(v, bool):
+                    findings.append(f"metrics[{k!r}] is non-numeric ({v!r})")
+    return findings
+
+
+class Agg:
+    __slots__ = ("count", "total_us", "max_us", "tids")
+
+    def __init__(self):
+        self.count = 0
+        self.total_us = 0.0
+        self.max_us = 0.0
+        self.tids = set()
+
+    def add(self, dur_us, tid):
+        self.count += 1
+        self.total_us += dur_us
+        self.max_us = max(self.max_us, dur_us)
+        self.tids.add(tid)
+
+
+def summarize(doc):
+    by_name = defaultdict(Agg)
+    by_cat = defaultdict(Agg)
+    counters = 0
+    for ev in doc.get("traceEvents", []):
+        if ev.get("ph") == "X":
+            by_name[ev.get("name", "?")].add(float(ev.get("dur", 0.0)),
+                                             ev.get("tid"))
+            by_cat[ev.get("cat", "?")].add(float(ev.get("dur", 0.0)),
+                                           ev.get("tid"))
+        elif ev.get("ph") == "C":
+            counters += 1
+
+    def table(title, rows):
+        print(f"{title}:")
+        print(f"  {'name':<24} {'count':>7} {'total ms':>10} {'mean us':>10} "
+              f"{'max us':>10} {'tids':>5}")
+        for name, a in sorted(rows.items(),
+                              key=lambda kv: -kv[1].total_us):
+            print(f"  {name:<24} {a.count:>7} {a.total_us / 1e3:>10.3f} "
+                  f"{a.total_us / a.count:>10.1f} {a.max_us:>10.1f} "
+                  f"{len(a.tids):>5}")
+
+    table("per-phase (span name)", by_name)
+    print()
+    table("per-category", by_cat)
+    nspans = sum(a.count for a in by_name.values())
+    print(f"\n{nspans} span events, {counters} counter samples")
+
+    metrics = doc.get("metrics")
+    if isinstance(metrics, dict) and metrics:
+        print("\nmetrics:")
+        for k in sorted(metrics):
+            print(f"  {k:<36} {metrics[k]:.9g}")
+
+
+# --- self-test ---------------------------------------------------------------
+
+_GOOD = {
+    "traceEvents": [
+        {"name": "compile", "cat": "engine", "ph": "X", "ts": 0.0,
+         "dur": 12.5, "pid": 1, "tid": 1},
+        {"name": "exchange.bytes", "ph": "C", "ts": 13.0, "pid": 1,
+         "tid": 1, "args": {"value": 4096}},
+    ],
+    "displayTimeUnit": "ms",
+    "metrics": {"pool.tasks": 8, "apply.seconds.sum": 0.125},
+}
+
+# Each must produce at least one finding.
+_BAD = [
+    [],                                                   # not an object
+    {},                                                   # no traceEvents
+    {"traceEvents": [{"ph": "B", "name": "x"}]},          # unknown phase
+    {"traceEvents": [{"ph": "X", "name": "x", "cat": "c", "ts": "0",
+                      "dur": 1, "pid": 1, "tid": 1}]},    # non-numeric ts
+    {"traceEvents": [{"ph": "X", "name": "x", "cat": "c", "ts": 0,
+                      "dur": -1, "pid": 1, "tid": 1}]},   # negative dur
+    {"traceEvents": [{"ph": "C", "name": "x", "ts": 0, "pid": 1,
+                      "tid": 1, "args": {}}]},            # no args.value
+    {"traceEvents": [], "metrics": {"k": "v"}},           # non-numeric metric
+]
+
+
+def self_test():
+    failures = []
+    good = validate(_GOOD)
+    if good:
+        failures.append(f"valid document flagged: {good}")
+    for i, doc in enumerate(_BAD):
+        if not validate(doc):
+            failures.append(f"bad document #{i} passed validation")
+    for f in failures:
+        print(f"self-test FAIL: {f}")
+    if not failures:
+        print(f"self-test OK: 1 good + {len(_BAD)} bad documents")
+    return 1 if failures else 0
+
+
+def main(argv):
+    args = argv[1:]
+    if args and args[0] == "--self-test":
+        return self_test()
+    check_only = False
+    if args and args[0] == "--validate":
+        check_only = True
+        args = args[1:]
+    if len(args) != 1:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(args[0], encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            print(f"trace_summary: {args[0]}: not JSON: {e}")
+            return 1
+    findings = validate(doc)
+    for msg in findings:
+        print(f"trace_summary: {args[0]}: {msg}")
+    if findings:
+        print(f"trace_summary: {len(findings)} finding(s)")
+        return 1
+    if check_only:
+        nev = len(doc.get("traceEvents", []))
+        print(f"trace_summary: {args[0]} valid ({nev} events)")
+        return 0
+    summarize(doc)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
